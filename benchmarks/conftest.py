@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper at
+"smoke" scale: it runs the corresponding experiment driver once inside
+pytest-benchmark (so the harness also records how long the reproduction
+takes), prints the same rows/series the paper reports, and asserts the
+qualitative relationships that should survive the scale reduction.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to see the printed tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Settings shared by the training-based benchmarks so each one stays in the
+#: seconds range.  Increase these (or pass scale="repro" to the experiment
+#: drivers directly) for a higher-fidelity reproduction.
+SMOKE = {
+    "scale": "smoke",
+    "n_workers": 4,
+    "epochs": 1,
+    "max_iterations_per_epoch": 4,
+}
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Extended-baseline comparison (beyond the paper's Table 1 rows).
+
+The paper compares DEFT against Top-k, CLT-k, hard-threshold and SIDCo; this
+benchmark extends the same measurement to the other sparsifiers shipped by
+the library (DGC sampled Top-k, Gaussian-k threshold, gTop-k global merge,
+Random-k) so a downstream user can see at a glance where DEFT's guarantees
+(predictable density, no build-up, low per-worker cost) sit in the wider
+design space.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import config as expcfg
+from repro.experiments.runner import run_training
+
+SPARSIFIERS = ("deft", "gtopk", "dgc", "gaussiank", "randomk")
+DENSITY = 0.05
+
+
+def test_extended_baseline_comparison(benchmark):
+    def run_all():
+        results = {}
+        task = expcfg.make_task(expcfg.LM, scale="smoke", seed=9)
+        for name in SPARSIFIERS:
+            results[name] = run_training(
+                expcfg.LM,
+                name,
+                density=DENSITY,
+                n_workers=4,
+                scale="smoke",
+                epochs=1,
+                seed=9,
+                max_iterations_per_epoch=6,
+                evaluate_each_epoch=False,
+                task=task,
+            )
+        return results
+
+    results = run_once(benchmark, run_all)
+
+    print("\nExtended baselines on the LM workload (configured density 0.05, 4 workers)")
+    print(f"{'sparsifier':<10} {'mean density':>13} {'density CV':>11} {'final error':>12} {'sel.cost':>10}")
+    rows = {}
+    for name, result in results.items():
+        densities = np.asarray(result.logger.series("density").values)
+        rows[name] = {
+            "density": float(densities.mean()),
+            "cv": float(densities.std() / max(densities.mean(), 1e-12)),
+            "error": float(result.logger.series("error").values[-1]),
+            "cost": float(result.logger.series("selection_cost_analytic").mean()),
+        }
+        print(
+            f"{name:<10} {rows[name]['density']:>13.4f} {rows[name]['cv']:>11.3f} "
+            f"{rows[name]['error']:>12.4f} {rows[name]['cost']:>10.0f}"
+        )
+
+    # DEFT and gTop-k keep the configured density; the per-worker threshold /
+    # random methods drift or build up.
+    assert abs(rows["deft"]["density"] - DENSITY) < 0.015
+    assert abs(rows["gtopk"]["density"] - DENSITY) < 0.005
+    # DEFT's slowest-worker analytic selection cost is the lowest of the
+    # magnitude-aware methods (random-k has no selection cost by definition).
+    for name in ("gtopk", "dgc"):
+        assert rows["deft"]["cost"] < rows[name]["cost"]
+    # Magnitude-aware DEFT achieves lower error than random selection.
+    assert rows["deft"]["error"] <= rows["randomk"]["error"] * 1.1

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 1: Top-k gradient build-up by scale-out.
+
+Paper series: actual density of local Top-k (configured d=0.01) on the
+computer-vision workload for 2/4/8/16 workers, plotted per epoch.  Expected
+shape: the measured density exceeds 0.01 and grows with the worker count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig01_buildup
+
+WORKER_COUNTS = (2, 4, 8)
+
+
+def test_fig01_gradient_buildup(benchmark):
+    result = run_once(
+        benchmark,
+        fig01_buildup.run,
+        scale="smoke",
+        worker_counts=WORKER_COUNTS,
+        density=0.01,
+        epochs=1,
+        max_iterations_per_epoch=4,
+    )
+    print()
+    print(fig01_buildup.format_report(result))
+
+    means = [result["per_worker_count"][w]["statistics"]["mean"] for w in WORKER_COUNTS]
+    # Shape check 1: every configuration exceeds the configured density.
+    assert all(m > 0.01 for m in means)
+    # Shape check 2: build-up grows monotonically with the worker count.
+    assert means == sorted(means)
+    # Shape check 3: at the largest worker count the build-up is substantial
+    # (the paper reports ~13.6x at 16 workers; several-fold is expected here).
+    assert means[-1] > 2.5 * 0.01

@@ -1,0 +1,49 @@
+"""Benchmark regenerating Figure 3: convergence of the sparsifiers.
+
+Paper panels: (a) test accuracy of ResNet-18/CIFAR-10 at d=0.01, (b) test
+perplexity of LSTM/WikiText-2 at d=0.001, (c) best hr@10 of NCF/MovieLens-20M
+at d=0.1 -- each for DEFT, CLT-k, Top-k and non-sparsified training on 16
+workers.  Expected shape: all sparsifiers converge towards the non-sparsified
+reference; Top-k converges no slower than DEFT/CLT-k (it secretly transmits
+more through build-up).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import config as expcfg
+from repro.experiments import fig03_convergence
+
+SPARSIFIERS = ("deft", "cltk", "topk", "dense")
+
+
+@pytest.mark.parametrize("workload", [expcfg.CV, expcfg.LM, expcfg.REC])
+def test_fig03_convergence(benchmark, workload):
+    result = run_once(
+        benchmark,
+        fig03_convergence.run_workload,
+        workload,
+        scale="smoke",
+        sparsifiers=SPARSIFIERS,
+        n_workers=4,
+        epochs=2,
+        seed=1,
+    )
+    print()
+    print(fig03_convergence.format_report(result))
+
+    series = result["series"]
+    assert set(series) == set(SPARSIFIERS)
+    finals = {name: data["final"] for name, data in series.items()}
+    assert all(value is not None for value in finals.values())
+
+    metric = result["metric"]
+    higher_is_better = metric in ("accuracy", "hr@10")
+    dense = finals["dense"]
+    for name in ("deft", "cltk", "topk"):
+        if higher_is_better:
+            # Sparsified runs stay within a broad band of the dense reference
+            # (at smoke scale a couple of epochs only separates them mildly).
+            assert finals[name] >= dense - 0.25
+        else:
+            assert finals[name] <= dense * 1.6

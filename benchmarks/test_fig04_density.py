@@ -1,0 +1,46 @@
+"""Benchmark regenerating Figure 4: actual density over training iterations.
+
+Paper panels: measured density of DEFT / CLT-k / Top-k on the three
+workloads (16 workers).  Expected shape: DEFT and CLT-k hold the configured
+density; Top-k exceeds it by a large factor on CV/LM and by a smaller factor
+on the recommendation workload (where its selection is already very dense).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import config as expcfg
+from repro.experiments import fig04_density
+
+SPARSIFIERS = ("deft", "cltk", "topk")
+
+
+@pytest.mark.parametrize("workload", [expcfg.CV, expcfg.LM, expcfg.REC])
+def test_fig04_actual_density(benchmark, workload):
+    # Use densities where k is comfortably above the layer count so the
+    # per-layer floor of Algorithm 3 does not distort the smoke-scale runs.
+    density = {expcfg.CV: 0.01, expcfg.LM: 0.01, expcfg.REC: 0.1}[workload]
+    result = run_once(
+        benchmark,
+        fig04_density.run_workload,
+        workload,
+        scale="smoke",
+        sparsifiers=SPARSIFIERS,
+        density=density,
+        n_workers=4,
+        epochs=1,
+        max_iterations_per_epoch=5,
+    )
+    print()
+    print(fig04_density.format_report(result))
+
+    stats = {name: trace["statistics"] for name, trace in result["traces"].items()}
+    configured = result["configured_density"]
+    # DEFT and CLT-k track the configured density.
+    assert stats["cltk"]["mean"] == pytest.approx(configured, rel=0.1)
+    assert stats["deft"]["mean"] == pytest.approx(configured, rel=0.4)
+    # Top-k overshoots through gradient build-up.
+    assert stats["topk"]["mean"] > 1.3 * configured
+    # Top-k is the worst of the three.
+    assert stats["topk"]["mean"] > stats["deft"]["mean"]
+    assert stats["topk"]["mean"] > stats["cltk"]["mean"]

@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 5: error-minimisation performance.
+
+Paper panels: the error (mean per-worker L2 norm of the error-feedback
+memory) of DEFT / CLT-k / Top-k over iterations on the three workloads.
+Expected shape: Top-k's error sits below DEFT's and CLT-k's (its build-up
+effectively transmits many more gradients), while DEFT and CLT-k are close to
+each other.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import config as expcfg
+from repro.experiments import fig05_error
+
+SPARSIFIERS = ("deft", "cltk", "topk")
+
+
+@pytest.mark.parametrize("workload", [expcfg.CV, expcfg.LM])
+def test_fig05_error_minimisation(benchmark, workload):
+    result = run_once(
+        benchmark,
+        fig05_error.run_workload,
+        workload,
+        scale="smoke",
+        sparsifiers=SPARSIFIERS,
+        n_workers=4,
+        epochs=1,
+        max_iterations_per_epoch=6,
+    )
+    print()
+    print(fig05_error.format_report(result))
+
+    errors = {name: trace["mean_error"] for name, trace in result["traces"].items()}
+    # Everyone accumulates some error at these densities.
+    assert all(value > 0 for value in errors.values())
+    # Top-k (with build-up) keeps the lowest error.
+    assert errors["topk"] <= errors["deft"] + 1e-9
+    assert errors["topk"] <= errors["cltk"] + 1e-9
+    # DEFT and CLT-k are within a factor ~2 of each other (same actual density).
+    ratio = errors["deft"] / errors["cltk"]
+    assert 0.4 < ratio < 2.5

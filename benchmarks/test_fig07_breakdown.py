@@ -1,0 +1,48 @@
+"""Benchmark regenerating Figure 7: training-time breakdown per iteration.
+
+Paper bars: mean per-iteration wall-clock time of DEFT / CLT-k / Top-k on the
+LSTM workload (16 GPUs), decomposed into forward, backward, gradient
+selection, communication and (for DEFT) the partitioning overhead.
+
+Expected shape at reproduction scale:
+- DEFT's *analytic* selection cost (the slowest worker's
+  ``sum n_{g,x} log k_x``) is far below Top-k's / CLT-k's full ``n_g log k``;
+- DEFT's modelled communication time is no larger than Top-k's (no build-up);
+- DEFT's partition/allocation overhead is a small fraction of the iteration.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig07_breakdown
+
+SPARSIFIERS = ("deft", "cltk", "topk")
+
+
+def test_fig07_training_time_breakdown(benchmark):
+    result = run_once(
+        benchmark,
+        fig07_breakdown.run,
+        scale="smoke",
+        # density 0.01 keeps k comfortably above the partition count at the
+        # reproduction's tiny model size (see EXPERIMENTS.md).
+        density=0.01,
+        sparsifiers=SPARSIFIERS,
+        n_workers=4,
+        epochs=1,
+        max_iterations_per_epoch=6,
+    )
+    print()
+    print(fig07_breakdown.format_report(result))
+
+    breakdowns = result["breakdowns"]
+    # Analytic selection cost: DEFT wins by a wide margin (the paper's point).
+    assert breakdowns["deft"]["selection_cost_analytic"] < 0.6 * breakdowns["topk"]["selection_cost_analytic"]
+    assert breakdowns["deft"]["selection_cost_analytic"] < 0.6 * breakdowns["cltk"]["selection_cost_analytic"]
+    # Communication volume (transport-independent elements sent per
+    # iteration): DEFT moves less data than Top-k because of build-up.
+    assert breakdowns["deft"]["comm_elements"] < breakdowns["topk"]["comm_elements"]
+    # DEFT's extra partition overhead exists but is a minor share of the step.
+    assert breakdowns["deft"]["partition"] > 0
+    assert breakdowns["deft"]["partition"] < 0.5 * breakdowns["deft"]["total"]
+    # The baselines have no partitioning phase at all.
+    assert breakdowns["topk"]["partition"] == 0.0
+    assert breakdowns["cltk"]["partition"] == 0.0

@@ -1,0 +1,43 @@
+"""Benchmark regenerating Figure 8: DEFT convergence across densities.
+
+Paper series: test perplexity per epoch of DEFT at densities 0.1 / 0.01 /
+0.001 plus non-sparsified training on the LSTM workload (16 workers).
+Expected shape: every density converges towards the non-sparsified curve; a
+lower density is never *better* than the dense reference and the realised
+densities track the configured ones.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig08_density_sweep
+
+DENSITIES = (0.1, 0.01)
+
+
+def test_fig08_convergence_by_density(benchmark):
+    result = run_once(
+        benchmark,
+        fig08_density_sweep.run,
+        scale="smoke",
+        densities=DENSITIES,
+        include_dense_reference=True,
+        n_workers=4,
+        epochs=2,
+        seed=2,
+    )
+    print()
+    print(fig08_density_sweep.format_report(result))
+
+    series = result["series"]
+    assert set(series) == {"density=0.1", "density=0.01", "non-sparsified"}
+
+    # Perplexity improves over training for every configuration.
+    for label, data in series.items():
+        assert data["values"][-1] <= data["values"][0] + 1e-9, label
+
+    # The realised density tracks the configured density and orders correctly.
+    assert series["density=0.1"]["mean_actual_density"] > series["density=0.01"]["mean_actual_density"]
+
+    # Sparsified runs end within a reasonable band of the dense reference.
+    dense_final = series["non-sparsified"]["final"]
+    for label in ("density=0.1", "density=0.01"):
+        assert series[label]["final"] <= 1.6 * dense_final

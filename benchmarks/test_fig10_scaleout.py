@@ -1,0 +1,49 @@
+"""Benchmark regenerating Figure 10: DEFT convergence by scale-out.
+
+Paper series: test perplexity per epoch of DEFT (d=0.001) on 4/8/16/32
+workers plus the non-sparsified reference on the LSTM workload.  Expected
+shape: every worker count converges (perplexity decreases over epochs) and
+the final perplexities sit in a common band -- scaling out does not break
+convergence because DEFT's density does not depend on the worker count.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_scaleout
+
+WORKER_COUNTS = (2, 4, 8)
+
+
+def test_fig10_convergence_by_scaleout(benchmark):
+    result = run_once(
+        benchmark,
+        fig10_scaleout.run,
+        scale="smoke",
+        density=0.01,
+        worker_counts=WORKER_COUNTS,
+        include_dense_reference=True,
+        epochs=2,
+        seed=3,
+    )
+    print()
+    print(fig10_scaleout.format_report(result))
+
+    series = result["series"]
+    expected_labels = {f"workers={w}" for w in WORKER_COUNTS} | {"non-sparsified"}
+    assert set(series) == expected_labels
+
+    finals = {}
+    for label, data in series.items():
+        # Perplexity decreases over training for every configuration.
+        assert data["values"][-1] <= data["values"][0] + 1e-9, label
+        finals[label] = data["final"]
+
+    # The density DEFT realises is independent of the worker count.
+    densities = [series[f"workers={w}"]["mean_actual_density"] for w in WORKER_COUNTS]
+    assert max(densities) - min(densities) < 0.01
+
+    # Final perplexities across worker counts stay in a common band
+    # (within ~40% of their mean at this tiny scale).
+    values = np.array([finals[f"workers={w}"] for w in WORKER_COUNTS])
+    assert values.max() <= 1.4 * values.mean()

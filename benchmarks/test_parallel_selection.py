@@ -1,0 +1,61 @@
+"""Measured (wall-clock) parallel selection, complementing Figure 9.
+
+Figure 9's headline is an analytic/measured speedup on real GPUs.  The
+simulated trainer cannot show wall-clock parallelism, so this benchmark runs
+DEFT's per-worker selection shares concurrently in a thread pool on a
+paper-scale gradient vector (~500k elements) and reports the measured speedup
+over one monolithic Top-k, alongside the serial (single-core) comparison.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.parallel import measure_parallel_selection
+from repro.sparsifiers.base import GradientLayout
+
+#: A layout shaped like a small word-level LSTM LM (~560k parameters).
+LAYOUT = GradientLayout.from_named_shapes(
+    [
+        ("embedding.weight", (2000, 128)),
+        ("lstm.weight_ih_l0", (1024, 128)),
+        ("lstm.weight_hh_l0", (1024, 256)),
+        ("lstm.bias_l0", (1024,)),
+        ("decoder.weight", (2000, 128)),
+        ("decoder.bias", (2000,)),
+    ]
+)
+DENSITY = 0.01
+
+
+@pytest.mark.parametrize("n_workers", [4, 16])
+def test_parallel_selection_speedup(benchmark, n_workers):
+    rng = np.random.default_rng(17)
+    flat = rng.standard_normal(LAYOUT.total_size)
+
+    measurement = run_once(
+        benchmark,
+        measure_parallel_selection,
+        LAYOUT,
+        flat,
+        DENSITY,
+        n_workers=n_workers,
+        repeats=3,
+    )
+    print(
+        f"\nworkers={n_workers}: full Top-k {measurement.baseline_seconds * 1e3:.2f} ms, "
+        f"DEFT serial {measurement.serial_seconds * 1e3:.2f} ms "
+        f"(x{measurement.serial_speedup:.2f}), "
+        f"DEFT threaded {measurement.parallel_seconds * 1e3:.2f} ms "
+        f"(x{measurement.parallel_speedup:.2f})"
+    )
+    # At ~560k gradients the per-element savings dominate the call overhead:
+    # running *all* workers' shares back-to-back on one core is already
+    # faster than the single monolithic Top-k (measured ~5x on this machine),
+    # which is the wall-clock counterpart of Figure 9's analytic claim.
+    assert measurement.serial_seconds <= measurement.baseline_seconds
+    # The threaded execution is reported for completeness but not asserted
+    # against the serial time: CPython's GIL serialises most of NumPy's
+    # argpartition at these slice sizes, so thread-level scaling is not
+    # observable here (real deployments parallelise across GPUs/processes).
+    assert measurement.parallel_seconds > 0

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the selection kernels themselves.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+primitives every sparsifier is built from: full-vector Top-k, threshold
+scanning, and DEFT's layer-wise selection.  They quantify the constant
+factors behind the analytic cost model on this machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sparsifiers.base import GradientLayout
+from repro.sparsifiers.deft import DEFTSparsifier
+from repro.utils.topk_ops import threshold_indices, topk_indices, topk_threshold
+
+N_GRADIENTS = 200_000
+DENSITY = 0.01
+
+
+@pytest.fixture(scope="module")
+def flat_gradient():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal(N_GRADIENTS)
+
+
+@pytest.fixture(scope="module")
+def layered_layout():
+    # A layout shaped like a small LSTM LM: two huge matrices + several small ones.
+    return GradientLayout.from_named_shapes(
+        [
+            ("embedding.weight", (300, 256)),
+            ("lstm.weight_ih", (512, 64)),
+            ("lstm.weight_hh", (512, 128)),
+            ("lstm.bias", (512,)),
+            ("decoder.weight", (300, 128)),
+            ("decoder.bias", (300,)),
+        ]
+    )
+
+
+def test_bench_full_topk(benchmark, flat_gradient):
+    k = int(DENSITY * N_GRADIENTS)
+    result = benchmark(topk_indices, flat_gradient, k)
+    assert result.size == k
+
+
+def test_bench_threshold_scan(benchmark, flat_gradient):
+    k = int(DENSITY * N_GRADIENTS)
+    threshold = topk_threshold(flat_gradient, k)
+    result = benchmark(threshold_indices, flat_gradient, threshold)
+    assert result.size >= k
+
+
+def test_bench_deft_layerwise_selection(benchmark, layered_layout):
+    rng = np.random.default_rng(1)
+    flat = rng.standard_normal(layered_layout.total_size)
+    n_workers = 8
+    sparsifier = DEFTSparsifier(DENSITY)
+    sparsifier.setup(layered_layout, n_workers)
+    sparsifier.coordinate(0, [flat] * n_workers)
+
+    def select_slowest_worker():
+        sizes = [len(sparsifier.select(0, rank, flat).indices) for rank in range(n_workers)]
+        return sizes
+
+    sizes = benchmark(select_slowest_worker)
+    assert sum(sizes) > 0
+
+
+def test_bench_deft_single_worker_share(benchmark, layered_layout):
+    """Time one worker's share only (what actually runs in parallel)."""
+    rng = np.random.default_rng(2)
+    flat = rng.standard_normal(layered_layout.total_size)
+    sparsifier = DEFTSparsifier(DENSITY)
+    sparsifier.setup(layered_layout, 8)
+    sparsifier.coordinate(0, [flat] * 8)
+
+    result = benchmark(sparsifier.select, 0, 0, flat)
+    assert result.k_selected >= 0

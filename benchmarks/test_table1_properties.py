@@ -1,0 +1,39 @@
+"""Benchmark regenerating Table 1: qualitative comparison of the sparsifiers.
+
+Paper rows: Top-k, CLT-k, Hard-threshold, SIDCo, DEFT with columns for
+gradient build-up, unpredictable density, hyper-parameter tuning, worker
+idling, selection cost and additional overhead.  Expected shape: the measured
+Yes/No judgements match the paper's rows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_properties
+
+SPARSIFIERS = ("topk", "cltk", "hard_threshold", "sidco", "deft")
+
+
+def test_table1_sparsifier_properties(benchmark):
+    result = run_once(
+        benchmark,
+        table1_properties.run,
+        scale="smoke",
+        sparsifiers=SPARSIFIERS,
+        n_workers=4,
+        iterations=4,
+    )
+    print()
+    print(table1_properties.format_report(result))
+
+    rows = {row["Sparsifier"]: row for row in result["rows"]}
+    paper = table1_properties.PAPER_TABLE1
+
+    # The build-up and idling columns must match the paper exactly.
+    for name in SPARSIFIERS:
+        assert rows[name]["Gradient build-up"] == paper[name]["Gradient build-up"], name
+        assert rows[name]["Worker idling"] == paper[name]["Worker idling"], name
+        assert rows[name]["Hyperparameter tuning"] == paper[name]["Hyperparameter tuning"], name
+
+    # DEFT and CLT-k keep the density predictable; Top-k does not.
+    assert rows["topk"]["Unpredictable density"] == "Yes"
+    assert rows["deft"]["Unpredictable density"] == "No"
+    assert rows["cltk"]["Unpredictable density"] == "No"

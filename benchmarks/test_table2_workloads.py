@@ -1,0 +1,27 @@
+"""Benchmark regenerating Table 2: description of each DNN application.
+
+Paper rows: (application, model, dataset, local batch size, epochs) for the
+three workloads.  The reproduction's table additionally records the synthetic
+substitute and its parameter count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_workloads
+
+
+def test_table2_workload_descriptions(benchmark):
+    result = run_once(benchmark, table2_workloads.run, scale="smoke")
+    print()
+    print(table2_workloads.format_report(result))
+
+    rows = {row["key"]: row for row in result["rows"]}
+    assert set(rows) == {"cv", "lm", "rec"}
+    # Paper-side columns must match Table 2.
+    assert rows["cv"]["paper_model"] == "ResNet-18"
+    assert rows["lm"]["paper_dataset"] == "WikiText-2"
+    assert rows["rec"]["paper_epochs"] == 30
+    # Every repro workload must be a real multi-layer model with data.
+    for row in rows.values():
+        assert row["repro_parameters"] > 1000
+        assert row["repro_layers"] >= 7
+        assert row["repro_train_samples"] > 0

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: train a small model with DEFT and compare against Top-k.
+
+This example exercises the full public API end-to-end in well under a
+minute on a laptop CPU:
+
+1. build a synthetic language-modelling workload (the WikiText-2 stand-in),
+2. train it with DEFT and with local Top-k on 4 simulated workers,
+3. print the convergence metric, the *actual* density each sparsifier
+   realised (Top-k exceeds the configured density through gradient
+   build-up; DEFT does not), and the per-iteration time breakdown.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.experiments.runner import run_training
+
+DENSITY = 0.01
+N_WORKERS = 4
+
+
+def main() -> None:
+    results = {}
+    for sparsifier in ("deft", "topk", "dense"):
+        print(f"Training with {sparsifier} (density={DENSITY}, workers={N_WORKERS}) ...")
+        results[sparsifier] = run_training(
+            workload="lm",
+            sparsifier_name=sparsifier,
+            density=DENSITY if sparsifier != "dense" else 1.0,
+            n_workers=N_WORKERS,
+            scale="smoke",
+            epochs=2,
+            seed=42,
+        )
+
+    print("\n=== Convergence (test perplexity, lower is better) ===")
+    for name, result in results.items():
+        print(f"  {name:<6} final perplexity = {result.final_metrics.get('perplexity', float('nan')):8.3f}")
+
+    print("\n=== Actual density (configured 0.01 for deft/topk) ===")
+    for name, result in results.items():
+        if name == "dense":
+            continue
+        print(f"  {name:<6} mean measured density = {result.mean_density():.4f}")
+
+    print("\n=== Mean per-iteration time breakdown (seconds) ===")
+    for name, result in results.items():
+        breakdown = result.timing.mean_breakdown()
+        parts = ", ".join(f"{phase}={seconds:.5f}" for phase, seconds in breakdown.items())
+        print(f"  {name:<6} {parts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Run every experiment driver and print its report.
+
+This is the one-shot regeneration entry point behind EXPERIMENTS.md: it runs
+each figure/table driver at the requested scale and prints the same
+rows/series the paper reports.  At ``--scale smoke`` the whole sweep takes a
+couple of minutes on a laptop CPU; ``--scale repro`` is higher-fidelity and
+correspondingly slower.
+
+Usage::
+
+    python scripts/run_all_experiments.py --scale smoke [--out experiments_output.txt]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig01_buildup,
+    fig03_convergence,
+    fig04_density,
+    fig05_error,
+    fig06_error_matched,
+    fig07_breakdown,
+    fig08_density_sweep,
+    fig09_speedup,
+    fig10_scaleout,
+    table1_properties,
+    table2_workloads,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
+    parser.add_argument("--workers", type=int, default=4, help="worker count for training experiments")
+    parser.add_argument("--epochs", type=int, default=None, help="override epochs for training experiments")
+    parser.add_argument("--out", type=str, default=None, help="also write the report to this file")
+    args = parser.parse_args()
+
+    lines = []
+
+    def emit(text=""):
+        print(text)
+        lines.append(text)
+
+    started = time.time()
+    workers = args.workers
+    epochs = args.epochs
+
+    steps = [
+        ("Table 2", lambda: table2_workloads.format_report(table2_workloads.run(scale=args.scale))),
+        ("Figure 1", lambda: fig01_buildup.format_report(
+            fig01_buildup.run(scale=args.scale, worker_counts=(2, 4, 8, 16), epochs=epochs))),
+        ("Table 1", lambda: table1_properties.format_report(
+            table1_properties.run(scale=args.scale, n_workers=workers, iterations=6))),
+        ("Figure 3", lambda: fig03_convergence.format_report(
+            fig03_convergence.run(scale=args.scale, n_workers=workers, epochs=epochs))),
+        ("Figure 4", lambda: fig04_density.format_report(
+            fig04_density.run(scale=args.scale, n_workers=workers, epochs=epochs))),
+        ("Figure 5", lambda: fig05_error.format_report(
+            fig05_error.run(scale=args.scale, n_workers=workers, epochs=epochs))),
+        ("Figure 6", lambda: fig06_error_matched.format_report(
+            fig06_error_matched.run(scale=args.scale, n_workers=workers, epochs=epochs))),
+        ("Figure 7", lambda: fig07_breakdown.format_report(
+            fig07_breakdown.run(scale=args.scale, density=0.01, n_workers=workers))),
+        ("Figure 8", lambda: fig08_density_sweep.format_report(
+            fig08_density_sweep.run(scale=args.scale, n_workers=workers, epochs=epochs))),
+        ("Figure 9", lambda: fig09_speedup.format_report(
+            fig09_speedup.run(scale=args.scale, density=0.01, worker_counts=(1, 2, 4, 8, 16, 32)))),
+        ("Figure 10", lambda: fig10_scaleout.format_report(
+            fig10_scaleout.run(scale=args.scale, density=0.01, worker_counts=(2, 4, 8, 16), epochs=epochs))),
+    ]
+
+    emit(f"# DEFT reproduction -- experiment sweep (scale={args.scale}, workers={workers})")
+    for label, runner in steps:
+        step_start = time.time()
+        emit()
+        emit("=" * 78)
+        try:
+            emit(runner())
+        except Exception as exc:  # pragma: no cover - report and continue
+            emit(f"{label} FAILED: {exc!r}")
+        emit(f"[{label} took {time.time() - step_start:.1f}s]")
+
+    emit()
+    emit(f"Total sweep time: {time.time() - started:.1f}s")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Measurement and reproduction analysis utilities.
+
+- :mod:`repro.analysis.cost` -- the paper's selection cost model
+  (``c_x = n_{g,x} log k_x``, Eq. 3-5),
+- :mod:`repro.analysis.speedup` -- theoretical and measured selection
+  speedups (Eq. 6-9, Figure 9),
+- :mod:`repro.analysis.density` -- actual-density / gradient-build-up
+  analysis (Figures 1 and 4),
+- :mod:`repro.analysis.properties` -- measured qualitative comparison of the
+  sparsifiers (Table 1),
+- :mod:`repro.analysis.series` -- helpers turning
+  :class:`~repro.utils.logging.RunLogger` series into the rows the paper's
+  figures plot.
+"""
+
+from repro.analysis.cost import (
+    layer_selection_cost,
+    topk_selection_cost,
+    worker_selection_cost,
+    deft_selection_cost,
+    trivial_selection_cost,
+)
+from repro.analysis.speedup import (
+    SpeedupCurve,
+    linear_speedup,
+    trivial_speedup,
+    deft_speedup_from_costs,
+    measure_selection_speedup,
+)
+from repro.analysis.density import (
+    buildup_factor,
+    density_statistics,
+    density_trace,
+)
+from repro.analysis.properties import SparsifierProperties, measure_properties
+from repro.analysis.series import epoch_series, iteration_series, subsample
+
+__all__ = [
+    "layer_selection_cost",
+    "topk_selection_cost",
+    "worker_selection_cost",
+    "deft_selection_cost",
+    "trivial_selection_cost",
+    "SpeedupCurve",
+    "linear_speedup",
+    "trivial_speedup",
+    "deft_speedup_from_costs",
+    "measure_selection_speedup",
+    "buildup_factor",
+    "density_statistics",
+    "density_trace",
+    "SparsifierProperties",
+    "measure_properties",
+    "epoch_series",
+    "iteration_series",
+    "subsample",
+]

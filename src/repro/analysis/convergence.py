@@ -1,0 +1,100 @@
+"""Convergence-rate summaries.
+
+The paper's convergence figures (3, 8, 10) are epoch-vs-metric curves; when
+comparing sparsifiers quantitatively it is convenient to reduce each curve to
+a couple of scalars: the best value reached, the number of epochs needed to
+reach a target, and the area under the (normalised) curve.  These helpers
+operate on the epoch series recorded by the trainer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.training.trainer import TrainingResult
+
+__all__ = ["ConvergenceSummary", "summarize_convergence", "epochs_to_reach", "compare_convergence"]
+
+
+@dataclass
+class ConvergenceSummary:
+    """Scalar summary of one training run's metric curve."""
+
+    metric: str
+    higher_is_better: bool
+    best: float
+    final: float
+    best_epoch: int
+    epochs: int
+    #: Mean metric over epochs (a crude area-under-curve; lower is better for
+    #: perplexity-style metrics, higher for accuracy-style ones).
+    mean: float
+
+    def reached(self, target: float) -> bool:
+        """Whether the run ever reached ``target``."""
+        if self.higher_is_better:
+            return self.best >= target
+        return self.best <= target
+
+
+def epochs_to_reach(
+    values: Sequence[float], target: float, higher_is_better: bool
+) -> Optional[int]:
+    """First epoch index at which ``values`` reaches ``target`` (None if never)."""
+    for epoch, value in enumerate(values):
+        if higher_is_better and value >= target:
+            return epoch
+        if not higher_is_better and value <= target:
+            return epoch
+    return None
+
+
+def summarize_convergence(
+    result: TrainingResult, metric: str, higher_is_better: bool
+) -> ConvergenceSummary:
+    """Reduce a run's epoch series for ``metric`` to a :class:`ConvergenceSummary`."""
+    series = result.logger.series(metric)
+    values = np.asarray(series.values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError(f"run has no epoch series named {metric!r}")
+    best_index = int(values.argmax() if higher_is_better else values.argmin())
+    return ConvergenceSummary(
+        metric=metric,
+        higher_is_better=higher_is_better,
+        best=float(values[best_index]),
+        final=float(values[-1]),
+        best_epoch=int(series.steps[best_index]),
+        epochs=len(values),
+        mean=float(values.mean()),
+    )
+
+
+def compare_convergence(
+    results: Dict[str, TrainingResult],
+    metric: str,
+    higher_is_better: bool,
+    target: Optional[float] = None,
+) -> Dict[str, Dict]:
+    """Summarise several runs side by side (one row per sparsifier).
+
+    When ``target`` is given, each row also reports the epochs needed to
+    reach it (None if the run never did).
+    """
+    rows: Dict[str, Dict] = {}
+    for name, result in results.items():
+        summary = summarize_convergence(result, metric, higher_is_better)
+        row = {
+            "best": summary.best,
+            "final": summary.final,
+            "best_epoch": summary.best_epoch,
+            "mean": summary.mean,
+        }
+        if target is not None:
+            row["epochs_to_target"] = epochs_to_reach(
+                result.logger.series(metric).values, target, higher_is_better
+            )
+        rows[name] = row
+    return rows

@@ -1,0 +1,76 @@
+"""Selection cost model (Section 4.3-4.4 of the paper).
+
+The paper models the cost of finding the top ``k`` elements of an ``n``-sized
+vector as ``n * log(k)`` and derives:
+
+- per-layer cost    ``c_x = n_{g,x} log k_x``          (Eq. 3)
+- per-worker cost   ``C_i = sum_{x in layers_i} c_x``  (Eq. 4)
+- iteration cost    ``C(n) = max_i C_i``               (Eq. 5)
+- trivial cost      ``C_trivial(n) = (n_g/n) log(k/n)``(Eq. 7)
+
+All logs are base 2 (the base only rescales every cost identically, so
+ratios -- the quantities the paper reports -- are unaffected).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "topk_selection_cost",
+    "layer_selection_cost",
+    "worker_selection_cost",
+    "deft_selection_cost",
+    "trivial_selection_cost",
+]
+
+
+def _safe_log(k: float) -> float:
+    """``log2(k)`` floored at 1 so degenerate ``k <= 2`` still costs a scan."""
+    return max(math.log2(max(float(k), 2.0)), 1.0)
+
+
+def topk_selection_cost(n_gradients: int, k: int) -> float:
+    """Cost of one Top-k over the whole gradient vector: ``n_g log k``."""
+    if n_gradients <= 0:
+        return 0.0
+    return float(n_gradients) * _safe_log(k)
+
+
+def layer_selection_cost(layer_size: int, layer_k: int) -> float:
+    """Eq. 3: ``c_x = n_{g,x} log k_x`` (zero when nothing is selected)."""
+    if layer_k <= 0 or layer_size <= 0:
+        return 0.0
+    return float(layer_size) * _safe_log(layer_k)
+
+
+def worker_selection_cost(layer_sizes: Sequence[int], layer_ks: Sequence[int]) -> float:
+    """Eq. 4: total selection cost of the layers allocated to one worker."""
+    sizes = np.asarray(layer_sizes, dtype=np.float64)
+    ks = np.asarray(layer_ks, dtype=np.float64)
+    if sizes.shape != ks.shape:
+        raise ValueError("layer_sizes and layer_ks must have the same length")
+    total = 0.0
+    for size, k in zip(sizes, ks):
+        total += layer_selection_cost(int(size), int(k))
+    return total
+
+
+def deft_selection_cost(per_worker_costs: Sequence[float]) -> float:
+    """Eq. 5: the iteration's cost is the slowest worker's cost."""
+    costs = [float(c) for c in per_worker_costs]
+    return max(costs) if costs else 0.0
+
+
+def trivial_selection_cost(n_gradients: int, k: int, n_workers: int) -> float:
+    """Eq. 7: cost when the vector is split into ``n`` equal anonymous chunks."""
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    if n_gradients <= 0:
+        return 0.0
+    chunk = n_gradients / n_workers
+    chunk_k = max(k / n_workers, 1.0)
+    return chunk * _safe_log(chunk_k)

@@ -1,0 +1,124 @@
+"""Thread-parallel execution of DEFT's per-worker selections.
+
+The paper's Figure 9 measures wall-clock speedup because each worker's
+layer-wise Top-k genuinely runs on its own GPU.  In this reproduction the
+workers are simulated sequentially, so the trainer's wall-clock numbers
+cannot show parallel speedup; this module closes part of that gap for the
+selection kernel specifically by measuring three wall-clock times on the same
+gradient snapshot:
+
+- one monolithic full-vector Top-k (what Top-k / CLT-k execute per worker),
+- DEFT's per-worker shares executed back-to-back on one core (an upper bound
+  on any single worker's latency), and
+- the same shares dispatched to a thread pool.
+
+The serial comparison is the robust one: on paper-scale vectors it directly
+shows the per-element savings of layer-wise selection.  The threaded numbers
+are reported for completeness, but CPython's GIL serialises most of NumPy's
+``argpartition`` at per-layer slice sizes, so thread-level scaling is *not*
+expected here -- real deployments parallelise across GPUs/processes (see
+``benchmarks/test_parallel_selection.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sparsifiers.base import GradientLayout
+from repro.sparsifiers.deft import DEFTSparsifier
+from repro.sparsifiers.deft.selection import layerwise_select
+from repro.utils.topk_ops import topk_indices
+
+__all__ = ["ParallelSelectionMeasurement", "measure_parallel_selection"]
+
+
+@dataclass
+class ParallelSelectionMeasurement:
+    """Wall-clock comparison of one full Top-k vs DEFT's parallel selection."""
+
+    n_workers: int
+    baseline_seconds: float
+    serial_seconds: float
+    parallel_seconds: float
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Speedup of thread-parallel DEFT selection over the full Top-k."""
+        if self.parallel_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.parallel_seconds
+
+    @property
+    def serial_speedup(self) -> float:
+        """Speedup when the per-worker shares run back-to-back on one core."""
+        if self.serial_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.serial_seconds
+
+
+def _run_share(flat: np.ndarray, sparsifier: DEFTSparsifier, ks: np.ndarray, layers: Sequence[int]) -> int:
+    indices, _, _ = layerwise_select(flat, sparsifier.partitions, ks, layers)
+    return int(indices.shape[0])
+
+
+def measure_parallel_selection(
+    layout: GradientLayout,
+    acc_flat: np.ndarray,
+    density: float,
+    n_workers: int,
+    repeats: int = 3,
+    max_threads: int = None,
+) -> ParallelSelectionMeasurement:
+    """Measure baseline Top-k vs DEFT selection run serially and in threads.
+
+    Parameters
+    ----------
+    layout, acc_flat, density, n_workers:
+        Problem definition, as in :func:`repro.analysis.speedup.measure_selection_speedup`.
+    repeats:
+        Each timing is repeated and the minimum kept.
+    max_threads:
+        Thread-pool size (defaults to ``n_workers``).
+    """
+    flat = np.asarray(acc_flat, dtype=np.float64).reshape(-1)
+    if flat.size != layout.total_size:
+        raise ValueError("accumulator length does not match the layout")
+    k = max(1, int(round(density * layout.total_size)))
+
+    sparsifier = DEFTSparsifier(density)
+    sparsifier.setup(layout, n_workers)
+    allocation = sparsifier.compute_allocation(flat)
+    ks = sparsifier._assign_k(flat)
+    shares: List[Sequence[int]] = [layers for layers in allocation if layers]
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    baseline_seconds = best_of(lambda: topk_indices(flat, k))
+    serial_seconds = best_of(lambda: [_run_share(flat, sparsifier, ks, layers) for layers in shares])
+
+    pool_size = max_threads or n_workers
+    with ThreadPoolExecutor(max_workers=pool_size) as pool:
+        def parallel_run():
+            futures = [pool.submit(_run_share, flat, sparsifier, ks, layers) for layers in shares]
+            for future in futures:
+                future.result()
+
+        parallel_seconds = best_of(parallel_run)
+
+    return ParallelSelectionMeasurement(
+        n_workers=n_workers,
+        baseline_seconds=baseline_seconds,
+        serial_seconds=serial_seconds,
+        parallel_seconds=parallel_seconds,
+    )

@@ -1,0 +1,113 @@
+"""Measured reproduction of Table 1 (qualitative sparsifier comparison).
+
+Table 1 lists six properties per sparsifier.  Three of them (hyper-parameter
+tuning, additional overhead, worker idling) are design facts; the other three
+(gradient build-up, unpredictable density, gradient selection cost) are
+*measurable*.  :func:`measure_properties` runs a short training workload with
+each sparsifier and fills every column from either the class metadata or the
+measurements, so the reproduced table can be compared row-by-row against the
+paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sparsifiers import build_sparsifier
+from repro.training.tasks import Task
+from repro.training.trainer import DistributedTrainer, TrainingConfig, TrainingResult
+
+__all__ = ["SparsifierProperties", "measure_properties"]
+
+
+@dataclass
+class SparsifierProperties:
+    """One row of the reproduced Table 1."""
+
+    name: str
+    #: Mean actual density divided by configured density (> ~1.2 == build-up).
+    buildup_factor: float
+    #: Coefficient of variation of the actual density (high == unpredictable).
+    density_cv: float
+    #: Whether the method requires per-model threshold tuning.
+    hyperparameter_tuning: bool
+    #: Whether some workers idle while another selects.
+    worker_idling: bool
+    #: Mean per-iteration selection time of the slowest worker (seconds).
+    selection_seconds: float
+    #: Mean per-iteration partition/coordination overhead (seconds).
+    overhead_seconds: float
+
+    @property
+    def has_buildup(self) -> bool:
+        return self.buildup_factor > 1.2
+
+    @property
+    def unpredictable_density(self) -> bool:
+        return self.has_buildup or self.density_cv > 0.2
+
+    def as_row(self) -> Dict[str, object]:
+        """Row formatted like the paper's Table 1 (Yes/No strings + numbers)."""
+        return {
+            "Sparsifier": self.name,
+            "Gradient build-up": "Yes" if self.has_buildup else "No",
+            "Unpredictable density": "Yes" if self.unpredictable_density else "No",
+            "Hyperparameter tuning": "Yes" if self.hyperparameter_tuning else "No",
+            "Worker idling": "Yes" if self.worker_idling else "No",
+            "Selection time (s)": round(self.selection_seconds, 6),
+            "Overhead time (s)": round(self.overhead_seconds, 6),
+        }
+
+
+def measure_properties(
+    task: Task,
+    sparsifier_names: Sequence[str],
+    density: float,
+    n_workers: int = 4,
+    iterations: int = 5,
+    batch_size: int = 16,
+    lr: float = 0.05,
+    seed: int = 0,
+    sparsifier_kwargs: Optional[Dict[str, dict]] = None,
+) -> List[SparsifierProperties]:
+    """Measure every Table-1 column for each named sparsifier.
+
+    A short run (``iterations`` iterations of ``n_workers`` simulated
+    workers) is performed per sparsifier on the same task and seed.
+    """
+    sparsifier_kwargs = sparsifier_kwargs or {}
+    rows: List[SparsifierProperties] = []
+    for name in sparsifier_names:
+        sparsifier = build_sparsifier(name, density, **sparsifier_kwargs.get(name, {}))
+        config = TrainingConfig(
+            n_workers=n_workers,
+            batch_size=batch_size,
+            epochs=1,
+            lr=lr,
+            seed=seed,
+            max_iterations_per_epoch=iterations,
+            evaluate_each_epoch=False,
+        )
+        trainer = DistributedTrainer(task, sparsifier, config)
+        result = trainer.train()
+        rows.append(_row_from_result(name, sparsifier, result, density))
+    return rows
+
+
+def _row_from_result(name, sparsifier, result: TrainingResult, density: float) -> SparsifierProperties:
+    densities = np.asarray(result.logger.series("density").values, dtype=np.float64)
+    mean_density = float(densities.mean()) if densities.size else 0.0
+    cv = float(densities.std() / mean_density) if mean_density > 0 else 0.0
+    breakdown = result.timing.mean_breakdown()
+    return SparsifierProperties(
+        name=name,
+        buildup_factor=mean_density / density if density > 0 else 0.0,
+        density_cv=cv,
+        hyperparameter_tuning=sparsifier.needs_hyperparameter_tuning,
+        worker_idling=sparsifier.has_worker_idling,
+        selection_seconds=breakdown["selection"],
+        overhead_seconds=breakdown["partition"],
+    )

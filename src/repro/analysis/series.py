@@ -1,0 +1,45 @@
+"""Helpers for turning run logs into the series the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.training.trainer import TrainingResult
+
+__all__ = ["iteration_series", "epoch_series", "subsample", "compare_final"]
+
+
+def iteration_series(result: TrainingResult, name: str) -> Tuple[List[int], List[float]]:
+    """Return (iterations, values) of a per-iteration series."""
+    series = result.logger.series(name)
+    return list(series.steps), list(series.values)
+
+
+def epoch_series(result: TrainingResult, name: str) -> Tuple[List[int], List[float]]:
+    """Return (epochs, values) of a per-epoch series (e.g. accuracy)."""
+    series = result.logger.series(name)
+    return list(series.steps), list(series.values)
+
+
+def subsample(steps: Sequence[int], values: Sequence[float], max_points: int = 50) -> Tuple[List[int], List[float]]:
+    """Thin a long series to at most ``max_points`` evenly spaced points."""
+    steps = list(steps)
+    values = list(values)
+    if len(steps) <= max_points:
+        return steps, values
+    idx = np.linspace(0, len(steps) - 1, max_points).round().astype(int)
+    return [steps[i] for i in idx], [values[i] for i in idx]
+
+
+def compare_final(results: Dict[str, TrainingResult], metric: str) -> Dict[str, float]:
+    """Final value of ``metric`` for each named run (table-style comparison)."""
+    out: Dict[str, float] = {}
+    for name, result in results.items():
+        value = result.final_metrics.get(metric)
+        if value is None:
+            series = result.logger.series(metric)
+            value = series.last() if len(series) else float("nan")
+        out[name] = float(value)
+    return out

@@ -1,0 +1,147 @@
+"""Command-line interface for the DEFT reproduction.
+
+Usage::
+
+    python -m repro list                       # workloads, sparsifiers, experiments
+    python -m repro train --workload lm --sparsifier deft --density 0.01 --workers 4
+    python -m repro experiment fig09 --scale smoke
+    python -m repro sweep --scale smoke        # every figure/table in one go
+
+Each sub-command prints a plain-text report; the ``experiment`` sub-command
+prints exactly the rows/series the corresponding paper figure or table shows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.experiments import (
+    fig01_buildup,
+    fig03_convergence,
+    fig04_density,
+    fig05_error,
+    fig06_error_matched,
+    fig07_breakdown,
+    fig08_density_sweep,
+    fig09_speedup,
+    fig10_scaleout,
+    table1_properties,
+    table2_workloads,
+)
+from repro.experiments import config as expcfg
+from repro.experiments.runner import run_training
+from repro.sparsifiers import available_sparsifiers
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment name -> (module with run()/format_report(), description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig01": (fig01_buildup, "Figure 1: Top-k gradient build-up by scale-out"),
+    "table1": (table1_properties, "Table 1: sparsifier properties"),
+    "table2": (table2_workloads, "Table 2: workload descriptions"),
+    "fig03": (fig03_convergence, "Figure 3: convergence of sparsifiers"),
+    "fig04": (fig04_density, "Figure 4: actual density over iterations"),
+    "fig05": (fig05_error, "Figure 5: error minimisation"),
+    "fig06": (fig06_error_matched, "Figure 6: error at matched actual density"),
+    "fig07": (fig07_breakdown, "Figure 7: training time breakdown"),
+    "fig08": (fig08_density_sweep, "Figure 8: DEFT convergence by density"),
+    "fig09": (fig09_speedup, "Figure 9: selection speedup by scale-out"),
+    "fig10": (fig10_scaleout, "Figure 10: DEFT convergence by scale-out"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list workloads, sparsifiers and experiments")
+
+    train = sub.add_parser("train", help="train one (workload, sparsifier) pair")
+    train.add_argument("--workload", choices=sorted(expcfg.PAPER_WORKLOADS), default=expcfg.LM)
+    train.add_argument("--sparsifier", choices=available_sparsifiers(), default="deft")
+    train.add_argument("--density", type=float, default=None)
+    train.add_argument("--workers", type=int, default=4)
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
+    train.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="regenerate one paper figure/table")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
+
+    sweep = sub.add_parser("sweep", help="regenerate every figure/table")
+    sweep.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
+
+    return parser
+
+
+def _command_list() -> int:
+    print("Workloads (Table 2):")
+    for key, description in expcfg.PAPER_WORKLOADS.items():
+        print(f"  {key:<4} {description.application}: {description.paper_model} / {description.paper_dataset}")
+    print("\nSparsifiers:")
+    for name in available_sparsifiers():
+        print(f"  {name}")
+    print("\nExperiments:")
+    for name, (_, description) in sorted(EXPERIMENTS.items()):
+        print(f"  {name:<7} {description}")
+    return 0
+
+
+def _command_train(args) -> int:
+    result = run_training(
+        args.workload,
+        args.sparsifier,
+        density=args.density,
+        n_workers=args.workers,
+        scale=args.scale,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(f"Trained {args.workload} with {args.sparsifier} on {args.workers} simulated workers")
+    for key, value in sorted(result.final_metrics.items()):
+        print(f"  final {key}: {value:.4f}")
+    print(f"  mean actual density: {result.mean_density():.4f}")
+    print(f"  iterations run: {result.iterations_run}")
+    return 0
+
+
+def _command_experiment(name: str, scale: str) -> int:
+    module, description = EXPERIMENTS[name]
+    print(f"# {description} (scale={scale})")
+    result = module.run(scale=scale)
+    print(module.format_report(result))
+    return 0
+
+
+def _command_sweep(scale: str) -> int:
+    for name in sorted(EXPERIMENTS):
+        _command_experiment(name, scale)
+        print()
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point used by ``python -m repro``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "list":
+        return _command_list()
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "experiment":
+        return _command_experiment(args.name, args.scale)
+    if args.command == "sweep":
+        return _command_sweep(args.scale)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

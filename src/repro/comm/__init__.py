@@ -1,0 +1,35 @@
+"""Simulated collective-communication substrate.
+
+The paper's implementation uses NCCL/MPI collectives (broadcast, all-gather,
+all-reduce) across 32 GPUs.  In this reproduction all workers live in one
+process, so the collectives are performed directly on the per-worker NumPy
+buffers, while two side channels reproduce what the paper actually measures:
+
+- :class:`~repro.comm.traffic.TrafficMeter` counts the elements each worker
+  transmits/receives (gradient build-up and the "actual density" of Figures
+  1 and 4 are pure counting phenomena), and
+- :mod:`~repro.comm.cost_model` converts payload sizes into modelled
+  communication times via the alpha-beta model the paper quotes
+  (``log(n)·alpha + 2(n-1)·k·beta``) for the training-time breakdown of
+  Figure 7.
+"""
+
+from repro.comm.backend import CollectiveBackend, ReduceOp
+from repro.comm.simulated import SimulatedBackend
+from repro.comm.traffic import CollectiveRecord, TrafficMeter
+from repro.comm.cost_model import AlphaBetaModel, CommunicationCost
+from repro.comm.topology import ClusterTopology, ring_topology, star_topology, tree_topology
+
+__all__ = [
+    "CollectiveBackend",
+    "ReduceOp",
+    "SimulatedBackend",
+    "TrafficMeter",
+    "CollectiveRecord",
+    "AlphaBetaModel",
+    "CommunicationCost",
+    "ClusterTopology",
+    "ring_topology",
+    "star_topology",
+    "tree_topology",
+]

@@ -1,0 +1,120 @@
+"""Alpha-beta communication cost model.
+
+Section 5.3 of the paper explains the communication advantage of DEFT with
+the standard latency/bandwidth model: the time of the sparse all-gather used
+by Top-k style sparsifiers is ``log(n)·alpha + 2(n-1)·k·beta`` where ``n`` is
+the number of workers, ``k`` the per-worker payload (number of selected
+gradients), ``alpha`` the per-message latency and ``beta`` the per-element
+transfer time.  For DEFT the ``k`` in that expression shrinks to
+``max_i sum_{x in layers_i} k_x`` because workers contribute disjoint index
+sets.
+
+:class:`AlphaBetaModel` evaluates those expressions so the Figure-7 breakdown
+and the scalability analysis can convert recorded traffic into modelled
+seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+__all__ = ["AlphaBetaModel", "CommunicationCost"]
+
+
+@dataclass
+class CommunicationCost:
+    """A modelled communication time, broken into latency and bandwidth terms."""
+
+    latency: float
+    bandwidth: float
+
+    @property
+    def total(self) -> float:
+        return self.latency + self.bandwidth
+
+    def __add__(self, other: "CommunicationCost") -> "CommunicationCost":
+        return CommunicationCost(self.latency + other.latency, self.bandwidth + other.bandwidth)
+
+
+@dataclass
+class AlphaBetaModel:
+    """Latency/bandwidth model of the collectives used by Algorithm 1.
+
+    Parameters
+    ----------
+    alpha:
+        Per-message latency in seconds.  Default loosely corresponds to an
+        intra-cluster NCCL/MPI launch (~20 microseconds).
+    beta:
+        Per-element transfer time in seconds.  The default corresponds to
+        roughly 10 GB/s effective bandwidth on 4-byte floats.
+    """
+
+    alpha: float = 2.0e-5
+    beta: float = 4.0e-10
+
+    # ------------------------------------------------------------------ #
+    def allgather_cost(self, n_workers: int, payload_per_worker: float) -> CommunicationCost:
+        """Cost of the sparse all-gather quoted by the paper.
+
+        ``log(n)·alpha + 2(n-1)·k·beta`` with ``k = payload_per_worker``.
+        """
+        if n_workers <= 1:
+            return CommunicationCost(0.0, 0.0)
+        latency = math.log2(n_workers) * self.alpha
+        bandwidth = 2.0 * (n_workers - 1) * float(payload_per_worker) * self.beta
+        return CommunicationCost(latency, bandwidth)
+
+    def allreduce_cost(self, n_workers: int, payload: float) -> CommunicationCost:
+        """Ring all-reduce cost: ``2·log(n)·alpha + 2(n-1)/n·m·beta``."""
+        if n_workers <= 1:
+            return CommunicationCost(0.0, 0.0)
+        latency = 2.0 * math.log2(n_workers) * self.alpha
+        bandwidth = 2.0 * (n_workers - 1) / n_workers * float(payload) * self.beta
+        return CommunicationCost(latency, bandwidth)
+
+    def broadcast_cost(self, n_workers: int, payload: float) -> CommunicationCost:
+        """Binomial-tree broadcast cost: ``log(n)·(alpha + m·beta)``."""
+        if n_workers <= 1:
+            return CommunicationCost(0.0, 0.0)
+        hops = math.log2(n_workers)
+        return CommunicationCost(hops * self.alpha, hops * float(payload) * self.beta)
+
+    # ------------------------------------------------------------------ #
+    def sparsifier_step_cost(
+        self,
+        n_workers: int,
+        index_payload_per_worker: float,
+        value_payload_per_worker: float,
+        allocation_payload: float = 0.0,
+    ) -> Dict[str, CommunicationCost]:
+        """Cost of one Algorithm-1 communication phase.
+
+        Returns a dict with the all-gather of indices, the all-reduce of the
+        selected values, and (for DEFT) the broadcast of the layer
+        allocation.
+        """
+        return {
+            "allgather_indices": self.allgather_cost(n_workers, index_payload_per_worker),
+            "allreduce_values": self.allgather_cost(n_workers, value_payload_per_worker),
+            "broadcast_allocation": self.broadcast_cost(n_workers, allocation_payload),
+        }
+
+    def total_step_cost(
+        self,
+        n_workers: int,
+        index_payload_per_worker: float,
+        value_payload_per_worker: float,
+        allocation_payload: float = 0.0,
+    ) -> float:
+        """Total modelled seconds of one communication phase."""
+        parts = self.sparsifier_step_cost(
+            n_workers, index_payload_per_worker, value_payload_per_worker, allocation_payload
+        )
+        return float(sum(cost.total for cost in parts.values()))
+
+    def dense_allreduce_step_cost(self, n_workers: int, n_gradients: int) -> float:
+        """Cost of non-sparsified training's dense all-reduce (baseline)."""
+        return self.allreduce_cost(n_workers, n_gradients).total

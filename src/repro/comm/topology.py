@@ -1,0 +1,108 @@
+"""Cluster topology helpers.
+
+The paper's cluster is 8 nodes x 4 GPUs.  The alpha-beta model in
+:mod:`repro.comm.cost_model` only needs worker counts, but the topology
+module lets experiments reason about hop counts and bisection when modelling
+multi-node latency (the alpha term grows with tree depth / ring diameter).
+``networkx`` is used for the graph algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+__all__ = ["ClusterTopology", "ring_topology", "star_topology", "tree_topology", "fat_node_topology"]
+
+
+@dataclass
+class ClusterTopology:
+    """A worker interconnect graph with per-edge latency weights."""
+
+    graph: nx.Graph
+    name: str = "custom"
+
+    @property
+    def n_workers(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def diameter_hops(self) -> int:
+        """Largest hop count between any two workers."""
+        if self.n_workers <= 1:
+            return 0
+        return int(nx.diameter(self.graph))
+
+    def average_hops(self) -> float:
+        """Mean shortest-path hop count over worker pairs."""
+        if self.n_workers <= 1:
+            return 0.0
+        return float(nx.average_shortest_path_length(self.graph))
+
+    def path_hops(self, src: int, dst: int) -> int:
+        return int(nx.shortest_path_length(self.graph, src, dst))
+
+    def latency_scale(self) -> float:
+        """Multiplier applied to the alpha term: the graph diameter (>= 1)."""
+        return float(max(self.diameter_hops(), 1))
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(int(u), int(v)) for u, v in self.graph.edges()]
+
+
+def ring_topology(n_workers: int) -> ClusterTopology:
+    """Workers connected in a cycle (ring all-reduce layout)."""
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    if n_workers == 1:
+        graph = nx.Graph()
+        graph.add_node(0)
+    elif n_workers == 2:
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+    else:
+        graph = nx.cycle_graph(n_workers)
+    return ClusterTopology(graph=graph, name="ring")
+
+
+def star_topology(n_workers: int) -> ClusterTopology:
+    """All workers connected to worker 0 (parameter-server layout)."""
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    graph = nx.star_graph(n_workers - 1) if n_workers > 1 else nx.Graph()
+    if n_workers == 1:
+        graph.add_node(0)
+    return ClusterTopology(graph=graph, name="star")
+
+
+def tree_topology(n_workers: int, branching: int = 2) -> ClusterTopology:
+    """Balanced tree of the given branching factor (binomial broadcast layout)."""
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_workers))
+    for child in range(1, n_workers):
+        parent = (child - 1) // branching
+        graph.add_edge(parent, child)
+    return ClusterTopology(graph=graph, name="tree")
+
+
+def fat_node_topology(n_nodes: int, gpus_per_node: int) -> ClusterTopology:
+    """Paper-like layout: fully connected GPUs inside a node, ring across nodes."""
+    if n_nodes <= 0 or gpus_per_node <= 0:
+        raise ValueError("n_nodes and gpus_per_node must be positive")
+    graph = nx.Graph()
+    total = n_nodes * gpus_per_node
+    graph.add_nodes_from(range(total))
+    for node in range(n_nodes):
+        members = list(range(node * gpus_per_node, (node + 1) * gpus_per_node))
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v)
+    # Ring over node leaders.
+    if n_nodes > 1:
+        leaders = [node * gpus_per_node for node in range(n_nodes)]
+        for i, leader in enumerate(leaders):
+            graph.add_edge(leader, leaders[(i + 1) % n_nodes])
+    return ClusterTopology(graph=graph, name="fat_node")

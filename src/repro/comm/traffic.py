@@ -1,0 +1,92 @@
+"""Per-collective traffic accounting.
+
+The paper's sparsification metrics (Figures 1 and 4) are about how many
+gradient values actually cross the network relative to the user-configured
+density.  :class:`TrafficMeter` records, for every collective call, the
+payload each worker contributed and the size of the result everyone received,
+so experiments can compute actual density and total traffic without caring
+which backend executed the collective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CollectiveRecord", "TrafficMeter"]
+
+
+@dataclass
+class CollectiveRecord:
+    """One collective operation's accounting entry."""
+
+    op: str
+    #: Number of elements each rank contributed (send payload).
+    sent_per_rank: List[int]
+    #: Number of elements each rank received (result payload).
+    received_per_rank: List[int]
+    #: Optional tag (e.g. "indices", "values", "allocation").
+    tag: str = ""
+
+    @property
+    def total_sent(self) -> int:
+        return int(sum(self.sent_per_rank))
+
+    @property
+    def total_received(self) -> int:
+        return int(sum(self.received_per_rank))
+
+    @property
+    def max_sent(self) -> int:
+        return int(max(self.sent_per_rank)) if self.sent_per_rank else 0
+
+
+class TrafficMeter:
+    """Accumulates :class:`CollectiveRecord` entries."""
+
+    def __init__(self) -> None:
+        self.records: List[CollectiveRecord] = []
+
+    def record(
+        self,
+        op: str,
+        sent_per_rank: List[int],
+        received_per_rank: List[int],
+        tag: str = "",
+    ) -> CollectiveRecord:
+        entry = CollectiveRecord(
+            op=op,
+            sent_per_rank=[int(s) for s in sent_per_rank],
+            received_per_rank=[int(r) for r in received_per_rank],
+            tag=tag,
+        )
+        self.records.append(entry)
+        return entry
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    # -- aggregation ----------------------------------------------------- #
+    def total_sent(self, op: Optional[str] = None, tag: Optional[str] = None) -> int:
+        return sum(r.total_sent for r in self._filter(op, tag))
+
+    def total_received(self, op: Optional[str] = None, tag: Optional[str] = None) -> int:
+        return sum(r.total_received for r in self._filter(op, tag))
+
+    def call_count(self, op: Optional[str] = None, tag: Optional[str] = None) -> int:
+        return len(self._filter(op, tag))
+
+    def by_tag(self) -> Dict[str, int]:
+        """Total sent elements grouped by tag."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.tag] = out.get(record.tag, 0) + record.total_sent
+        return out
+
+    def _filter(self, op: Optional[str], tag: Optional[str]) -> List[CollectiveRecord]:
+        records = self.records
+        if op is not None:
+            records = [r for r in records if r.op == op]
+        if tag is not None:
+            records = [r for r in records if r.tag == tag]
+        return records

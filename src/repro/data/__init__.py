@@ -1,0 +1,39 @@
+"""Synthetic datasets and loading utilities.
+
+The paper trains on CIFAR-10, WikiText-2 and MovieLens-20M.  Those datasets
+are not available offline, so this package generates synthetic substitutes
+that preserve the properties the paper's experiments depend on:
+
+- :mod:`repro.data.synthetic_images` -- class-conditional Gaussian images
+  (learnable classification task standing in for CIFAR-10),
+- :mod:`repro.data.synthetic_text` -- a Markov-chain token stream with a
+  Zipfian vocabulary (learnable language-modelling task standing in for
+  WikiText-2),
+- :mod:`repro.data.synthetic_ratings` -- latent-factor implicit feedback
+  (learnable recommendation task standing in for MovieLens-20M),
+- :mod:`repro.data.dataset` / :mod:`repro.data.dataloader` -- minimal
+  ``Dataset`` / ``DataLoader`` machinery,
+- :mod:`repro.data.partition` -- per-worker data sharding for data-parallel
+  training.
+"""
+
+from repro.data.dataset import ArrayDataset, Dataset
+from repro.data.dataloader import DataLoader
+from repro.data.partition import shard_dataset, shard_indices
+from repro.data.synthetic_images import SyntheticImageDataset, make_image_classification
+from repro.data.synthetic_text import SyntheticTextCorpus, make_language_modeling
+from repro.data.synthetic_ratings import SyntheticRatingsDataset, make_implicit_feedback
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "shard_dataset",
+    "shard_indices",
+    "SyntheticImageDataset",
+    "make_image_classification",
+    "SyntheticTextCorpus",
+    "make_language_modeling",
+    "SyntheticRatingsDataset",
+    "make_implicit_feedback",
+]

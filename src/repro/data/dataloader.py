@@ -1,0 +1,71 @@
+"""Mini-batch iterator."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterates a dataset in mini-batches of stacked NumPy arrays.
+
+    Parameters
+    ----------
+    dataset:
+        Any :class:`~repro.data.dataset.Dataset`; ``batch`` is used when the
+        dataset provides it (vectorised gather), otherwise items are stacked.
+    batch_size:
+        Mini-batch size; the final short batch is kept unless
+        ``drop_last=True``.
+    shuffle:
+        Reshuffle indices each epoch using ``rng``.
+    rng:
+        Generator controlling the shuffle order (reproducible epochs).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            order = self.rng.permutation(n)
+        for start in range(0, n, self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and batch_idx.shape[0] < self.batch_size:
+                break
+            yield self._collate(batch_idx)
+
+    def _collate(self, indices: np.ndarray) -> Tuple[np.ndarray, ...]:
+        if hasattr(self.dataset, "batch"):
+            out = self.dataset.batch(indices)  # type: ignore[attr-defined]
+            return out if isinstance(out, tuple) else (out,)
+        rows = [self.dataset[int(i)] for i in indices]
+        if isinstance(rows[0], tuple):
+            return tuple(np.stack(col) for col in zip(*rows))
+        return (np.stack(rows),)

@@ -1,0 +1,68 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset"]
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def subset(self, indices: Sequence[int]) -> "SubsetDataset":
+        """Return a view restricted to ``indices``."""
+        return SubsetDataset(self, indices)
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by parallel NumPy arrays (features..., target)."""
+
+    def __init__(self, *arrays: np.ndarray) -> None:
+        if not arrays:
+            raise ValueError("ArrayDataset needs at least one array")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"arrays have inconsistent lengths: {sorted(lengths)}")
+        self.arrays: Tuple[np.ndarray, ...] = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int):
+        items = tuple(a[index] for a in self.arrays)
+        return items if len(items) > 1 else items[0]
+
+    def batch(self, indices: Sequence[int]) -> Tuple[np.ndarray, ...]:
+        """Gather a batch of rows from every backing array at once."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return tuple(a[idx] for a in self.arrays)
+
+
+class SubsetDataset(Dataset):
+    """A view of another dataset restricted to a fixed set of indices."""
+
+    def __init__(self, base: Dataset, indices: Sequence[int]) -> None:
+        self.base = base
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def __getitem__(self, index: int):
+        return self.base[int(self.indices[index])]
+
+    def batch(self, indices: Sequence[int]):
+        mapped = self.indices[np.asarray(indices, dtype=np.int64)]
+        if hasattr(self.base, "batch"):
+            return self.base.batch(mapped)  # type: ignore[attr-defined]
+        rows = [self.base[int(i)] for i in mapped]
+        return tuple(np.stack(col) for col in zip(*rows))

@@ -1,0 +1,62 @@
+"""Per-worker data sharding for data-parallel training.
+
+Each simulated worker trains on its own shard of the dataset, exactly as the
+paper's workers each see a different mini-batch stream.  Shards are
+contiguous in a deterministically shuffled order, so runs are reproducible
+and every sample belongs to exactly one worker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["shard_indices", "shard_dataset"]
+
+
+def shard_indices(
+    n_samples: int,
+    n_workers: int,
+    rank: Optional[int] = None,
+    seed: int = 0,
+    shuffle: bool = True,
+):
+    """Split ``range(n_samples)`` into ``n_workers`` near-equal shards.
+
+    Parameters
+    ----------
+    n_samples, n_workers:
+        Dataset size and number of workers.
+    rank:
+        When given, return only that worker's shard; otherwise return the
+        list of all shards.
+    seed, shuffle:
+        The permutation applied before splitting (disable for contiguous
+        shards).
+    """
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    if rank is not None and not 0 <= rank < n_workers:
+        raise ValueError(f"rank {rank} out of range for {n_workers} workers")
+    order = np.arange(n_samples, dtype=np.int64)
+    if shuffle:
+        order = np.random.default_rng(seed).permutation(n_samples).astype(np.int64)
+    shards: List[np.ndarray] = [order[r::n_workers].copy() for r in range(n_workers)]
+    if rank is not None:
+        return shards[rank]
+    return shards
+
+
+def shard_dataset(
+    dataset: Dataset,
+    n_workers: int,
+    rank: int,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> Dataset:
+    """Return worker ``rank``'s shard of ``dataset`` as a subset view."""
+    indices = shard_indices(len(dataset), n_workers, rank=rank, seed=seed, shuffle=shuffle)
+    return dataset.subset(indices)

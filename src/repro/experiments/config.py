@@ -1,0 +1,162 @@
+"""Workload and scale presets shared by all experiment drivers.
+
+Table 2 of the paper defines three workloads; this module records both the
+paper's configuration (for documentation) and the scaled-down reproduction
+configurations, and provides :func:`make_task` to instantiate the synthetic
+equivalent of each workload at a chosen scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.training.tasks import (
+    ImageClassificationTask,
+    LanguageModelingTask,
+    RecommendationTask,
+    Task,
+)
+
+__all__ = [
+    "WorkloadDescription",
+    "PAPER_WORKLOADS",
+    "SCALES",
+    "make_task",
+    "default_density",
+    "default_epochs",
+]
+
+#: Workload keys used throughout the experiment drivers.
+CV = "cv"
+LM = "lm"
+REC = "rec"
+
+
+@dataclass(frozen=True)
+class WorkloadDescription:
+    """One row of Table 2 (plus the reproduction substitution)."""
+
+    key: str
+    application: str
+    paper_model: str
+    paper_dataset: str
+    paper_batch_size: int
+    paper_epochs: int
+    paper_density: float
+    repro_model: str
+    repro_dataset: str
+
+
+PAPER_WORKLOADS: Dict[str, WorkloadDescription] = {
+    CV: WorkloadDescription(
+        key=CV,
+        application="Computer vision",
+        paper_model="ResNet-18",
+        paper_dataset="CIFAR-10",
+        paper_batch_size=25,
+        paper_epochs=200,
+        paper_density=0.01,
+        repro_model="ResNetCIFAR (scaled-down residual CNN)",
+        repro_dataset="SyntheticImageDataset (class-conditional Gaussian images)",
+    ),
+    LM: WorkloadDescription(
+        key=LM,
+        application="Language modelling",
+        paper_model="LSTM",
+        paper_dataset="WikiText-2",
+        paper_batch_size=25,
+        paper_epochs=90,
+        paper_density=0.001,
+        repro_model="LSTMLanguageModel",
+        repro_dataset="SyntheticTextCorpus (Zipfian Markov-chain corpus)",
+    ),
+    REC: WorkloadDescription(
+        key=REC,
+        application="Recommendation",
+        paper_model="NCF",
+        paper_dataset="MovieLens-20M",
+        paper_batch_size=2 ** 16,
+        paper_epochs=30,
+        paper_density=0.1,
+        repro_model="NeuralCollaborativeFiltering",
+        repro_dataset="SyntheticRatingsDataset (latent-factor implicit feedback)",
+    ),
+}
+
+#: Per-scale sizing knobs.  "paper" values are kept for documentation only;
+#: running at that scale is not expected in this environment.
+SCALES: Dict[str, Dict[str, Dict]] = {
+    "smoke": {
+        CV: dict(n_train=128, n_test=64, image_size=8, model_scale="tiny", batch_size=16, epochs=2),
+        LM: dict(vocab_size=80, train_tokens=4096, test_tokens=1024, seq_len=8, embed_dim=16, hidden_dim=24, batch_size=8, epochs=2),
+        REC: dict(num_users=48, num_items=96, interactions_per_user=10, batch_size=64, epochs=2),
+    },
+    "repro": {
+        CV: dict(n_train=512, n_test=128, image_size=16, model_scale="small", batch_size=32, epochs=10),
+        LM: dict(vocab_size=200, train_tokens=20000, test_tokens=4000, seq_len=16, embed_dim=32, hidden_dim=64, batch_size=16, epochs=10),
+        REC: dict(num_users=128, num_items=256, interactions_per_user=16, batch_size=128, epochs=8),
+    },
+    "paper": {
+        CV: dict(n_train=50000, n_test=10000, image_size=32, model_scale="medium", batch_size=25, epochs=200),
+        LM: dict(vocab_size=33278, train_tokens=2_000_000, test_tokens=240_000, seq_len=35, embed_dim=650, hidden_dim=650, batch_size=25, epochs=90),
+        REC: dict(num_users=138_000, num_items=27_000, interactions_per_user=100, batch_size=2 ** 16, epochs=30),
+    },
+}
+
+#: Default densities per workload (the paper's Figure 3 / 4 / 5 settings).
+DEFAULT_DENSITY: Dict[str, float] = {CV: 0.01, LM: 0.001, REC: 0.1}
+
+#: Default learning rates tuned for the synthetic substitutes.
+DEFAULT_LR: Dict[str, float] = {CV: 0.05, LM: 0.5, REC: 0.05}
+
+
+def default_density(workload: str) -> float:
+    """The paper's configured density for a workload key."""
+    return DEFAULT_DENSITY[workload]
+
+
+def default_epochs(workload: str, scale: str) -> int:
+    """Epoch budget of a workload at a given scale."""
+    return int(SCALES[scale][workload]["epochs"])
+
+
+def default_lr(workload: str) -> float:
+    """Learning rate used for the synthetic substitute of a workload."""
+    return DEFAULT_LR[workload]
+
+
+def default_batch_size(workload: str, scale: str) -> int:
+    """Mini-batch size of a workload at a given scale."""
+    return int(SCALES[scale][workload]["batch_size"])
+
+
+def make_task(workload: str, scale: str = "smoke", seed: int = 0) -> Task:
+    """Instantiate the synthetic task standing in for a paper workload.
+
+    Parameters
+    ----------
+    workload:
+        ``"cv"``, ``"lm"`` or ``"rec"``.
+    scale:
+        ``"smoke"`` or ``"repro"`` (``"paper"`` sizing is documented in
+        :data:`SCALES` but far beyond this environment's budget).
+    seed:
+        Dataset / model seed.
+    """
+    if workload not in PAPER_WORKLOADS:
+        raise KeyError(f"unknown workload {workload!r}; choose from {sorted(PAPER_WORKLOADS)}")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    if scale == "paper":
+        raise ValueError(
+            "the 'paper' scale is documentation-only; run 'smoke' or 'repro' in this environment"
+        )
+    params = dict(SCALES[scale][workload])
+    params.pop("batch_size", None)
+    params.pop("epochs", None)
+    if workload == CV:
+        return ImageClassificationTask(seed=seed, **params)
+    if workload == LM:
+        return LanguageModelingTask(seed=seed, **params)
+    return RecommendationTask(seed=seed, **params)

@@ -1,0 +1,102 @@
+"""Figure 4: sparsification performance (actual density over iterations).
+
+Same runs as Figure 3 (DEFT / CLT-k / Top-k on each workload); the quantity
+plotted is the measured density per training iteration, which should stay at
+the configured value for DEFT and CLT-k and exceed it for Top-k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.density import density_statistics
+from repro.experiments import config as expcfg
+from repro.experiments.runner import run_sparsifier_comparison
+
+__all__ = ["run", "run_workload", "format_report"]
+
+DEFAULT_SPARSIFIERS = ("deft", "cltk", "topk")
+
+
+def run_workload(
+    workload: str,
+    scale: str = "smoke",
+    sparsifiers: Sequence[str] = DEFAULT_SPARSIFIERS,
+    density: Optional[float] = None,
+    n_workers: int = 4,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    max_iterations_per_epoch: Optional[int] = None,
+) -> Dict:
+    density = expcfg.default_density(workload) if density is None else float(density)
+    results = run_sparsifier_comparison(
+        workload,
+        sparsifiers,
+        density=density,
+        n_workers=n_workers,
+        scale=scale,
+        seed=seed,
+        epochs=epochs,
+        max_iterations_per_epoch=max_iterations_per_epoch,
+        evaluate_each_epoch=False,
+    )
+    traces = {}
+    for name, result in results.items():
+        series = result.logger.series("density")
+        traces[name] = {
+            "iterations": list(series.steps),
+            "values": list(series.values),
+            "statistics": density_statistics(result, density),
+        }
+    return {
+        "figure": "fig04",
+        "workload": workload,
+        "configured_density": density,
+        "n_workers": n_workers,
+        "traces": traces,
+    }
+
+
+def run(
+    scale: str = "smoke",
+    workloads: Sequence[str] = (expcfg.CV, expcfg.LM, expcfg.REC),
+    sparsifiers: Sequence[str] = DEFAULT_SPARSIFIERS,
+    n_workers: int = 4,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    max_iterations_per_epoch: Optional[int] = None,
+) -> Dict:
+    panels = {}
+    for workload in workloads:
+        panels[workload] = run_workload(
+            workload,
+            scale=scale,
+            sparsifiers=sparsifiers,
+            n_workers=n_workers,
+            epochs=epochs,
+            seed=seed,
+            max_iterations_per_epoch=max_iterations_per_epoch,
+        )
+    return {"figure": "fig04", "panels": panels}
+
+
+def format_report(result: Dict) -> str:
+    lines = ["Figure 4 -- actual density over iterations"]
+    panels = result.get("panels", {result.get("workload", "panel"): result})
+    for workload, panel in panels.items():
+        lines.append(f"  [{workload}] configured density = {panel['configured_density']}")
+        for name, trace in panel["traces"].items():
+            stats = trace["statistics"]
+            lines.append(
+                f"    {name:<8} mean={stats['mean']:.4f} max={stats['max']:.4f} "
+                f"build-up x{stats['buildup_factor']:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run(scale="repro")))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""Figure 5: error-minimisation performance.
+
+Same runs as Figures 3/4; the quantity plotted is the error -- the mean over
+workers of the L2 norm of the error-feedback memory -- per training
+iteration.  Top-k's error should sit below DEFT's and CLT-k's because its
+gradient build-up effectively transmits many more gradients per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments import config as expcfg
+from repro.experiments.runner import run_sparsifier_comparison
+
+__all__ = ["run", "run_workload", "format_report"]
+
+DEFAULT_SPARSIFIERS = ("deft", "cltk", "topk")
+
+
+def run_workload(
+    workload: str,
+    scale: str = "smoke",
+    sparsifiers: Sequence[str] = DEFAULT_SPARSIFIERS,
+    density: Optional[float] = None,
+    n_workers: int = 4,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    max_iterations_per_epoch: Optional[int] = None,
+) -> Dict:
+    density = expcfg.default_density(workload) if density is None else float(density)
+    results = run_sparsifier_comparison(
+        workload,
+        sparsifiers,
+        density=density,
+        n_workers=n_workers,
+        scale=scale,
+        seed=seed,
+        epochs=epochs,
+        max_iterations_per_epoch=max_iterations_per_epoch,
+        evaluate_each_epoch=False,
+    )
+    traces = {}
+    for name, result in results.items():
+        series = result.logger.series("error")
+        values = np.asarray(series.values, dtype=np.float64)
+        traces[name] = {
+            "iterations": list(series.steps),
+            "values": list(series.values),
+            "mean_error": float(values.mean()) if values.size else 0.0,
+            "final_error": float(values[-1]) if values.size else 0.0,
+        }
+    return {
+        "figure": "fig05",
+        "workload": workload,
+        "density": density,
+        "n_workers": n_workers,
+        "traces": traces,
+    }
+
+
+def run(
+    scale: str = "smoke",
+    workloads: Sequence[str] = (expcfg.CV, expcfg.LM, expcfg.REC),
+    sparsifiers: Sequence[str] = DEFAULT_SPARSIFIERS,
+    n_workers: int = 4,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    max_iterations_per_epoch: Optional[int] = None,
+) -> Dict:
+    panels = {}
+    for workload in workloads:
+        panels[workload] = run_workload(
+            workload,
+            scale=scale,
+            sparsifiers=sparsifiers,
+            n_workers=n_workers,
+            epochs=epochs,
+            seed=seed,
+            max_iterations_per_epoch=max_iterations_per_epoch,
+        )
+    return {"figure": "fig05", "panels": panels}
+
+
+def format_report(result: Dict) -> str:
+    lines = ["Figure 5 -- error minimisation (mean worker error norm)"]
+    panels = result.get("panels", {result.get("workload", "panel"): result})
+    for workload, panel in panels.items():
+        lines.append(f"  [{workload}] d={panel['density']}")
+        for name, trace in panel["traces"].items():
+            lines.append(
+                f"    {name:<8} mean error={trace['mean_error']:.4f} final error={trace['final_error']:.4f}"
+            )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run(scale="repro")))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,97 @@
+"""Figure 8: DEFT convergence across configured densities on the LSTM workload.
+
+The paper runs DEFT at densities 0.1 / 0.01 / 0.001 (plus the non-sparsified
+reference) and shows perplexity per epoch converging to the same point, with
+the lowest density converging slightly slower early on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments import config as expcfg
+from repro.experiments.runner import run_training
+
+__all__ = ["run", "format_report"]
+
+DEFAULT_DENSITIES = (0.1, 0.01, 0.001)
+
+
+def run(
+    scale: str = "smoke",
+    workload: str = expcfg.LM,
+    densities: Sequence[float] = DEFAULT_DENSITIES,
+    include_dense_reference: bool = True,
+    n_workers: int = 4,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    max_iterations_per_epoch: Optional[int] = None,
+) -> Dict:
+    """Train DEFT at each density (plus the dense reference) on one workload."""
+    task = expcfg.make_task(workload, scale=scale, seed=seed)
+    metric = {expcfg.CV: "accuracy", expcfg.LM: "perplexity", expcfg.REC: "hr@10"}[workload]
+    series: Dict[str, Dict] = {}
+
+    def _record(label, result):
+        metric_series = result.logger.series(metric)
+        series[label] = {
+            "epochs": list(metric_series.steps),
+            "values": list(metric_series.values),
+            "final": metric_series.last(),
+            "mean_actual_density": result.mean_density(),
+        }
+
+    for density in densities:
+        result = run_training(
+            workload,
+            "deft",
+            density=float(density),
+            n_workers=n_workers,
+            scale=scale,
+            epochs=epochs,
+            seed=seed,
+            max_iterations_per_epoch=max_iterations_per_epoch,
+            task=task,
+        )
+        _record(f"density={density}", result)
+    if include_dense_reference:
+        result = run_training(
+            workload,
+            "dense",
+            density=1.0,
+            n_workers=n_workers,
+            scale=scale,
+            epochs=epochs,
+            seed=seed,
+            max_iterations_per_epoch=max_iterations_per_epoch,
+            task=task,
+        )
+        _record("non-sparsified", result)
+
+    return {
+        "figure": "fig08",
+        "workload": workload,
+        "metric": metric,
+        "n_workers": n_workers,
+        "series": series,
+    }
+
+
+def format_report(result: Dict) -> str:
+    lines = [f"Figure 8 -- DEFT convergence by density ({result['workload']}, metric={result['metric']})"]
+    for label, data in result["series"].items():
+        final = data["final"]
+        final_str = "n/a" if final is None else f"{final:.4f}"
+        lines.append(
+            f"  {label:<18} final {result['metric']}={final_str} "
+            f"(mean actual density {data['mean_actual_density']:.4f})"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run(scale="repro")))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

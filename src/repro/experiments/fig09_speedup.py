@@ -1,0 +1,101 @@
+"""Figure 9: computational speedup of DEFT's layer-wise selection by scale-out.
+
+The paper measures the speedup of DEFT's per-worker selection over a single
+full-vector Top-k on the LSTM workload as the worker count grows from 1 to
+32, and compares against the linear speedup and the theoretical "trivial
+partitioning" speedup of Eq. 8.  The claim (Eq. 9) is that DEFT's speedup is
+at least the trivial speedup, which itself exceeds linear.
+
+The reproduction takes one gradient snapshot of the LSTM workload (one
+forward/backward pass), then evaluates the analytic speedups and measures
+wall-clock selection time per worker count on that snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.speedup import measure_selection_speedup
+from repro.experiments import config as expcfg
+from repro.sparsifiers.base import GradientLayout
+from repro.training.optimizers import flatten_gradients
+from repro.utils.seeding import SeedSequenceFactory
+
+__all__ = ["run", "gradient_snapshot", "format_report"]
+
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def gradient_snapshot(workload: str, scale: str, seed: int = 0):
+    """One (layout, flat-gradient) snapshot of a workload's model."""
+    task = expcfg.make_task(workload, scale=scale, seed=seed)
+    seeds = SeedSequenceFactory(seed)
+    model = task.build_model(rng=seeds.rng("model"))
+    layout = GradientLayout.from_model(model)
+    # A single mini-batch forward/backward provides realistic per-layer norms.
+    from repro.data.dataloader import DataLoader
+
+    loader = DataLoader(task.train_dataset(), batch_size=expcfg.default_batch_size(workload, scale), rng=seeds.rng("loader"))
+    batch = next(iter(loader))
+    loss = task.compute_loss(model, batch)
+    loss.backward()
+    flat = flatten_gradients(model)
+    model.zero_grad()
+    return layout, flat
+
+
+def run(
+    scale: str = "smoke",
+    workload: str = expcfg.LM,
+    density: Optional[float] = None,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    seed: int = 0,
+    measure_wallclock: bool = True,
+    repeats: int = 3,
+) -> Dict:
+    """Produce the three (or four) Figure-9 curves."""
+    density = expcfg.default_density(workload) if density is None else float(density)
+    layout, flat = gradient_snapshot(workload, scale, seed=seed)
+    curves = measure_selection_speedup(
+        layout,
+        flat,
+        density,
+        worker_counts,
+        repeats=repeats,
+        measure_wallclock=measure_wallclock,
+    )
+    return {
+        "figure": "fig09",
+        "workload": workload,
+        "density": density,
+        "n_gradients": layout.total_size,
+        "worker_counts": [int(w) for w in worker_counts],
+        "curves": {name: curve.as_dict() for name, curve in curves.items()},
+    }
+
+
+def format_report(result: Dict) -> str:
+    curves = result["curves"]
+    names = list(curves)
+    lines = [
+        f"Figure 9 -- selection speedup by scale-out ({result['workload']}, d={result['density']}, "
+        f"n_g={result['n_gradients']})",
+        "workers  " + "  ".join(f"{name:>18}" for name in names),
+    ]
+    for w in result["worker_counts"]:
+        row = f"{w:>7}  "
+        for name in names:
+            value = curves[name].get(w, float("nan"))
+            row += f"{value:>18.2f}  "
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run(scale="repro")))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

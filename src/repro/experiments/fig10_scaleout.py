@@ -1,0 +1,100 @@
+"""Figure 10: DEFT convergence by scale-out on the LSTM workload.
+
+The paper trains DEFT at density 0.001 on 4/8/16/32 workers (plus the
+non-sparsified reference) and shows the perplexity of every configuration
+converging to the same point.  The reproduction sweeps worker counts on the
+synthetic LSTM workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments import config as expcfg
+from repro.experiments.runner import run_training
+
+__all__ = ["run", "format_report"]
+
+DEFAULT_WORKER_COUNTS = (4, 8, 16, 32)
+
+
+def run(
+    scale: str = "smoke",
+    workload: str = expcfg.LM,
+    density: float = 0.001,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    include_dense_reference: bool = True,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+    max_iterations_per_epoch: Optional[int] = None,
+) -> Dict:
+    """Train DEFT at each worker count and return the metric series."""
+    task = expcfg.make_task(workload, scale=scale, seed=seed)
+    metric = {expcfg.CV: "accuracy", expcfg.LM: "perplexity", expcfg.REC: "hr@10"}[workload]
+    series: Dict[str, Dict] = {}
+
+    def _record(label, result):
+        metric_series = result.logger.series(metric)
+        series[label] = {
+            "epochs": list(metric_series.steps),
+            "values": list(metric_series.values),
+            "final": metric_series.last(),
+            "mean_actual_density": result.mean_density(),
+        }
+
+    for n_workers in worker_counts:
+        result = run_training(
+            workload,
+            "deft",
+            density=density,
+            n_workers=int(n_workers),
+            scale=scale,
+            epochs=epochs,
+            seed=seed,
+            max_iterations_per_epoch=max_iterations_per_epoch,
+            task=task,
+        )
+        _record(f"workers={n_workers}", result)
+    if include_dense_reference:
+        reference_workers = int(worker_counts[0]) if worker_counts else 4
+        result = run_training(
+            workload,
+            "dense",
+            density=1.0,
+            n_workers=reference_workers,
+            scale=scale,
+            epochs=epochs,
+            seed=seed,
+            max_iterations_per_epoch=max_iterations_per_epoch,
+            task=task,
+        )
+        _record("non-sparsified", result)
+
+    return {
+        "figure": "fig10",
+        "workload": workload,
+        "metric": metric,
+        "density": density,
+        "worker_counts": [int(w) for w in worker_counts],
+        "series": series,
+    }
+
+
+def format_report(result: Dict) -> str:
+    lines = [
+        f"Figure 10 -- DEFT convergence by scale-out ({result['workload']}, d={result['density']}, "
+        f"metric={result['metric']})"
+    ]
+    for label, data in result["series"].items():
+        final = data["final"]
+        final_str = "n/a" if final is None else f"{final:.4f}"
+        lines.append(f"  {label:<16} final {result['metric']}={final_str}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run(scale="repro")))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

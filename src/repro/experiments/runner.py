@@ -1,0 +1,79 @@
+"""Shared run helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments import config as expcfg
+from repro.sparsifiers import build_sparsifier
+from repro.training.tasks import Task
+from repro.training.trainer import DistributedTrainer, TrainingConfig, TrainingResult
+
+__all__ = ["run_training", "run_sparsifier_comparison"]
+
+
+def run_training(
+    workload: str,
+    sparsifier_name: str,
+    density: Optional[float] = None,
+    n_workers: int = 4,
+    scale: str = "smoke",
+    epochs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    lr: Optional[float] = None,
+    seed: int = 0,
+    max_iterations_per_epoch: Optional[int] = None,
+    evaluate_each_epoch: bool = True,
+    sparsifier_kwargs: Optional[dict] = None,
+    task: Optional[Task] = None,
+) -> TrainingResult:
+    """Train one (workload, sparsifier) pair and return its result.
+
+    All arguments default to the workload/scale presets of
+    :mod:`repro.experiments.config`; ``task`` can be passed to reuse an
+    already-built dataset across several runs of the same experiment.
+    """
+    density = expcfg.default_density(workload) if density is None else float(density)
+    epochs = expcfg.default_epochs(workload, scale) if epochs is None else int(epochs)
+    batch_size = expcfg.default_batch_size(workload, scale) if batch_size is None else int(batch_size)
+    lr = expcfg.default_lr(workload) if lr is None else float(lr)
+    task = task if task is not None else expcfg.make_task(workload, scale=scale, seed=seed)
+
+    sparsifier = build_sparsifier(sparsifier_name, density, **(sparsifier_kwargs or {}))
+    training_config = TrainingConfig(
+        n_workers=n_workers,
+        batch_size=batch_size,
+        epochs=epochs,
+        lr=lr,
+        seed=seed,
+        max_iterations_per_epoch=max_iterations_per_epoch,
+        evaluate_each_epoch=evaluate_each_epoch,
+    )
+    trainer = DistributedTrainer(task, sparsifier, training_config)
+    return trainer.train()
+
+
+def run_sparsifier_comparison(
+    workload: str,
+    sparsifier_names: Sequence[str],
+    density: Optional[float] = None,
+    n_workers: int = 4,
+    scale: str = "smoke",
+    seed: int = 0,
+    **kwargs,
+) -> Dict[str, TrainingResult]:
+    """Train the same workload once per sparsifier (Figures 3-5 pattern)."""
+    task = expcfg.make_task(workload, scale=scale, seed=seed)
+    results: Dict[str, TrainingResult] = {}
+    for name in sparsifier_names:
+        results[name] = run_training(
+            workload,
+            name,
+            density=density,
+            n_workers=n_workers,
+            scale=scale,
+            seed=seed,
+            task=task,
+            **kwargs,
+        )
+    return results

@@ -1,0 +1,117 @@
+"""Table 1: strengths and weaknesses of the sparsifiers, measured.
+
+The paper's Table 1 is qualitative; the reproduction measures each column on
+a short common workload so the Yes/No judgements are backed by numbers
+(build-up factor, density coefficient of variation, selection time, and
+coordination overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.properties import measure_properties
+from repro.experiments import config as expcfg
+
+__all__ = ["run", "format_report", "PAPER_TABLE1"]
+
+DEFAULT_SPARSIFIERS = ("topk", "cltk", "hard_threshold", "sidco", "deft")
+
+#: The paper's own Table 1 rows (for side-by-side comparison in reports).
+PAPER_TABLE1: Dict[str, Dict[str, str]] = {
+    "topk": {
+        "Gradient build-up": "Yes",
+        "Unpredictable density": "Yes",
+        "Hyperparameter tuning": "No",
+        "Worker idling": "No",
+        "Gradient selection cost": "Very high",
+        "Additional overhead": "No",
+    },
+    "cltk": {
+        "Gradient build-up": "No",
+        "Unpredictable density": "No",
+        "Hyperparameter tuning": "No",
+        "Worker idling": "Yes",
+        "Gradient selection cost": "Very high",
+        "Additional overhead": "No",
+    },
+    "hard_threshold": {
+        "Gradient build-up": "Yes",
+        "Unpredictable density": "Yes",
+        "Hyperparameter tuning": "Yes",
+        "Worker idling": "No",
+        "Gradient selection cost": "Very low",
+        "Additional overhead": "No",
+    },
+    "sidco": {
+        "Gradient build-up": "Yes",
+        "Unpredictable density": "Yes",
+        "Hyperparameter tuning": "No",
+        "Worker idling": "No",
+        "Gradient selection cost": "Very low",
+        "Additional overhead": "Very high",
+    },
+    "deft": {
+        "Gradient build-up": "No",
+        "Unpredictable density": "No",
+        "Hyperparameter tuning": "No",
+        "Worker idling": "No",
+        "Gradient selection cost": "Low",
+        "Additional overhead": "Very low",
+    },
+}
+
+
+def run(
+    scale: str = "smoke",
+    sparsifiers: Sequence[str] = DEFAULT_SPARSIFIERS,
+    workload: str = expcfg.CV,
+    density: Optional[float] = None,
+    n_workers: int = 4,
+    iterations: int = 5,
+    seed: int = 0,
+) -> Dict:
+    """Measure the Table-1 properties of each sparsifier on one workload."""
+    density = expcfg.default_density(workload) if density is None else float(density)
+    task = expcfg.make_task(workload, scale=scale, seed=seed)
+    rows = measure_properties(
+        task,
+        sparsifiers,
+        density=density,
+        n_workers=n_workers,
+        iterations=iterations,
+        batch_size=expcfg.default_batch_size(workload, scale),
+        lr=expcfg.default_lr(workload),
+        seed=seed,
+    )
+    return {
+        "table": "table1",
+        "workload": workload,
+        "density": density,
+        "n_workers": n_workers,
+        "rows": [row.as_row() for row in rows],
+        "paper_rows": {name: PAPER_TABLE1.get(name, {}) for name in sparsifiers},
+    }
+
+
+def format_report(result: Dict) -> str:
+    header = (
+        f"{'Sparsifier':<15} {'Build-up':>9} {'Unpred.density':>15} {'Tuning':>7} "
+        f"{'Idling':>7} {'Select(s)':>10} {'Overhead(s)':>12}"
+    )
+    lines = [f"Table 1 -- measured sparsifier properties ({result['workload']}, d={result['density']})", header]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['Sparsifier']:<15} {row['Gradient build-up']:>9} {row['Unpredictable density']:>15} "
+            f"{row['Hyperparameter tuning']:>7} {row['Worker idling']:>7} "
+            f"{row['Selection time (s)']:>10.6f} {row['Overhead time (s)']:>12.6f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run(scale="repro")))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

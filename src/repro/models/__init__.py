@@ -1,0 +1,33 @@
+"""Model zoo for the three DNN applications evaluated in the paper.
+
+The paper (Table 2) evaluates three applications; the reproduction provides a
+scaled-down analogue of each, preserving the structural property DEFT relies
+on -- many layers of very different sizes and gradient norms:
+
+- :class:`~repro.models.resnet.ResNetCIFAR` -- residual CNN, stand-in for
+  ResNet-18 on CIFAR-10 (computer vision),
+- :class:`~repro.models.lstm_lm.LSTMLanguageModel` -- LSTM language model,
+  stand-in for the WikiText-2 LSTM (language modelling),
+- :class:`~repro.models.ncf.NeuralCollaborativeFiltering` -- NCF, stand-in
+  for NCF on MovieLens-20M (recommendation),
+- :class:`~repro.models.mlp.MLP` -- small multilayer perceptron used in unit
+  tests and the quickstart example.
+"""
+
+from repro.models.mlp import MLP
+from repro.models.resnet import BasicBlock, ResNetCIFAR, resnet_cifar
+from repro.models.lstm_lm import LSTMLanguageModel
+from repro.models.ncf import NeuralCollaborativeFiltering
+from repro.models.registry import available_models, build_model, register_model
+
+__all__ = [
+    "MLP",
+    "BasicBlock",
+    "ResNetCIFAR",
+    "resnet_cifar",
+    "LSTMLanguageModel",
+    "NeuralCollaborativeFiltering",
+    "available_models",
+    "build_model",
+    "register_model",
+]

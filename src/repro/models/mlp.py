@@ -1,0 +1,52 @@
+"""Simple multilayer perceptron."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+__all__ = ["MLP"]
+
+
+class MLP(nn.Module):
+    """Fully connected classifier with ReLU activations.
+
+    Parameters
+    ----------
+    in_features:
+        Input width.
+    hidden_sizes:
+        Widths of the hidden layers (may be empty for a linear model).
+    num_classes:
+        Output width.
+    rng:
+        Generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int] = (64, 32),
+        num_classes: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.num_classes = int(num_classes)
+        layers = []
+        prev = in_features
+        for width in hidden_sizes:
+            layers.append(nn.Linear(prev, int(width), rng=rng))
+            layers.append(nn.ReLU())
+            prev = int(width)
+        layers.append(nn.Linear(prev, num_classes, rng=rng))
+        self.net = nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1 if False else int(np.prod(x.shape[1:])))
+        return self.net(x)

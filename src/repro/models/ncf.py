@@ -1,0 +1,84 @@
+"""Neural collaborative filtering (NCF / NeuMF).
+
+Stand-in for the paper's NCF on MovieLens-20M.  The model follows He et al.
+(2017): a GMF branch (elementwise product of user/item embeddings) fused with
+an MLP branch (concatenated user/item embeddings through a tower of linear
+layers), ending in a single logit predicting implicit feedback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.tensor.tensor import Tensor
+
+__all__ = ["NeuralCollaborativeFiltering"]
+
+
+class NeuralCollaborativeFiltering(nn.Module):
+    """NeuMF model producing an implicit-feedback logit per (user, item) pair.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Entity counts.
+    gmf_dim:
+        Embedding width of the GMF branch.
+    mlp_dims:
+        Widths of the MLP tower; the first entry is the concatenated
+        embedding width (so the per-branch embedding width is half of it).
+    """
+
+    def __init__(
+        self,
+        num_users: int = 200,
+        num_items: int = 300,
+        gmf_dim: int = 16,
+        mlp_dims: Sequence[int] = (64, 32, 16),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if mlp_dims[0] % 2 != 0:
+            raise ValueError("the first MLP width must be even (it is split across user/item)")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self.gmf_dim = int(gmf_dim)
+        mlp_embed_dim = int(mlp_dims[0]) // 2
+
+        self.gmf_user = nn.Embedding(num_users, gmf_dim, rng=rng, init_std=0.05)
+        self.gmf_item = nn.Embedding(num_items, gmf_dim, rng=rng, init_std=0.05)
+        self.mlp_user = nn.Embedding(num_users, mlp_embed_dim, rng=rng, init_std=0.05)
+        self.mlp_item = nn.Embedding(num_items, mlp_embed_dim, rng=rng, init_std=0.05)
+
+        tower = []
+        prev = int(mlp_dims[0])
+        for width in mlp_dims[1:]:
+            tower.append(nn.Linear(prev, int(width), rng=rng))
+            tower.append(nn.ReLU())
+            prev = int(width)
+        self.mlp_tower = nn.Sequential(*tower)
+        self.output = nn.Linear(prev + gmf_dim, 1, rng=rng)
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Return logits of shape ``(N,)`` for (user, item) index arrays."""
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        items = np.asarray(items, dtype=np.int64).reshape(-1)
+        gmf = self.gmf_user(users) * self.gmf_item(items)
+        mlp_in = Tensor.concatenate([self.mlp_user(users), self.mlp_item(items)], axis=1)
+        mlp_out = self.mlp_tower(mlp_in)
+        fused = Tensor.concatenate([gmf, mlp_out], axis=1)
+        logits = self.output(fused)
+        return logits.reshape(users.shape[0])
+
+    def score_items(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        """Score one user against many items (used by hit-rate@k evaluation)."""
+        item_ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
+        users = np.full(item_ids.shape[0], int(user), dtype=np.int64)
+        from repro.tensor.tensor import no_grad
+
+        with no_grad():
+            logits = self.forward(users, item_ids)
+        return logits.data.copy()

@@ -1,0 +1,56 @@
+"""Model registry mapping workload names to constructors.
+
+The experiment harness refers to models by name (``"resnet_cifar"``,
+``"lstm_lm"``, ``"ncf"``), mirroring Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.models.lstm_lm import LSTMLanguageModel
+from repro.models.mlp import MLP
+from repro.models.ncf import NeuralCollaborativeFiltering
+from repro.models.resnet import resnet_cifar
+from repro.nn.module import Module
+
+__all__ = ["register_model", "build_model", "available_models"]
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str, builder: Optional[Callable[..., Module]] = None):
+    """Register a model builder under ``name``.
+
+    Usable as a decorator (``@register_model("name")``) or a plain call.
+    """
+
+    def _register(fn: Callable[..., Module]) -> Callable[..., Module]:
+        if name in _REGISTRY:
+            raise KeyError(f"model {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    if builder is not None:
+        return _register(builder)
+    return _register
+
+
+def build_model(name: str, rng: Optional[np.random.Generator] = None, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[name](rng=rng, **kwargs)
+
+
+def available_models():
+    """Names of all registered models, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_model("mlp", lambda rng=None, **kw: MLP(rng=rng, **({"in_features": 32} | kw)))
+register_model("resnet_cifar", lambda rng=None, **kw: resnet_cifar(rng=rng, **kw))
+register_model("lstm_lm", lambda rng=None, **kw: LSTMLanguageModel(rng=rng, **kw))
+register_model("ncf", lambda rng=None, **kw: NeuralCollaborativeFiltering(rng=rng, **kw))

@@ -1,0 +1,46 @@
+"""Neural-network module library built on :mod:`repro.tensor`.
+
+The public surface mirrors a small subset of ``torch.nn``; the important
+property for the DEFT reproduction is that every trainable tensor is a named
+:class:`~repro.nn.module.Parameter`, so after ``loss.backward()`` the model
+exposes an ordered list of per-layer gradient tensors with heterogeneous
+sizes and norms -- exactly the object the paper's Algorithms 2-5 consume.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm2d, LayerNorm
+from repro.nn.activation import ReLU, Sigmoid, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.embedding import Embedding
+from repro.nn.recurrent import LSTM, LSTMCell
+from repro.nn.container import ModuleList, Sequential
+from repro.nn.loss import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss
+from repro.nn.flatten import Flatten
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Embedding",
+    "LSTM",
+    "LSTMCell",
+    "ModuleList",
+    "Sequential",
+    "CrossEntropyLoss",
+    "BCEWithLogitsLoss",
+    "MSELoss",
+    "Flatten",
+]

@@ -1,0 +1,66 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.nn.module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._ordered.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._ordered)), module)
+        self._ordered.append(module)
+        return self
+
+    def forward(self, x):
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+
+class ModuleList(Module):
+    """List of modules whose parameters are registered with the parent."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._ordered)), module)
+        self._ordered.append(module)
+        return self
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not callable
+        raise NotImplementedError("ModuleList is a container; call its members explicitly")
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]

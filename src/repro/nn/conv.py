@@ -1,0 +1,66 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import init
+from repro.tensor.conv_ops import conv2d
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution with square kernels.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Side length of the square kernel.
+    stride, padding:
+        Convolution stride and zero padding.
+    bias:
+        Whether to add a per-channel bias.
+    rng:
+        Generator for Kaiming-uniform initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng=rng))
+        if bias:
+            fan_in = in_channels * kernel_size * kernel_size
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(init.uniform((out_channels,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, bias={self.bias is not None})"
+        )

@@ -1,0 +1,46 @@
+"""Embedding layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor import init
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    In the paper's LSTM and NCF workloads the embedding matrices are by far
+    the largest layers; they are the layers DEFT's two-stage partitioning
+    splits across workers.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        init_std: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = int(num_embeddings)
+        self.embedding_dim = int(embedding_dim)
+        self.weight = Parameter(
+            init.normal((num_embeddings, embedding_dim), std=init_std, rng=rng)
+        )
+
+    def forward(self, indices) -> Tensor:
+        idx = np.asarray(indices, dtype=np.int64)
+        if np.any(idx < 0) or np.any(idx >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return F.embedding(self.weight, idx)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

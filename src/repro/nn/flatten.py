@@ -1,0 +1,19 @@
+"""Flatten layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        rest = int(np.prod(x.shape[1:])) if x.ndim > 1 else 1
+        return x.reshape(n, rest)

@@ -1,0 +1,52 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor import init
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    bias:
+        Whether to include the additive bias term.
+    rng:
+        Generator used for weight initialisation (Kaiming-uniform, matching
+        PyTorch's default for ``nn.Linear``).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(init.uniform((out_features,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear(in_features={self.in_features}, out_features={self.out_features}, bias={self.bias is not None})"

@@ -1,0 +1,42 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "BCEWithLogitsLoss", "MSELoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy on logits with integer class targets."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        return F.cross_entropy(logits, targets, reduction=self.reduction)
+
+
+class BCEWithLogitsLoss(Module):
+    """Binary cross-entropy on raw logits (numerically stable)."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        return F.binary_cross_entropy_with_logits(logits, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return F.mse_loss(prediction, target, reduction=self.reduction)

@@ -1,0 +1,171 @@
+"""Base classes: :class:`Parameter` and :class:`Module`.
+
+A :class:`Module` automatically registers any :class:`Parameter` or child
+:class:`Module` assigned as an attribute, and exposes ``named_parameters()``
+in a stable, deterministic order (registration order).  That ordering defines
+the "layer order" used by DEFT's gradient-vector partitioning.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor.
+
+    Identical to :class:`~repro.tensor.Tensor` except ``requires_grad``
+    defaults to ``True`` and modules treat it as a leaf to be optimised.
+    """
+
+    def __init__(self, data, requires_grad: bool = True, dtype=np.float32, name: Optional[str] = None):
+        super().__init__(data, requires_grad=requires_grad, dtype=dtype, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, param: Parameter) -> None:
+        """Explicitly register a parameter under ``name``."""
+        self._parameters[name] = param
+        object.__setattr__(self, name, param)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. running stats)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a registered buffer in place (keeps registration)."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} is not registered")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a child module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` in registration order."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return the list of parameters in registration order."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` including self."""
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> List["Module"]:
+        return [m for _, m in self.named_modules()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield (f"{prefix}{name}", self._buffers[name])
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars (the paper's ``n_g``)."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        """Clear the gradient buffer of every parameter."""
+        for param in self.parameters():
+            param.grad = None
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects Dropout / BatchNorm)."""
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter and buffer values (copies)."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[f"buffer::{name}"] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load values produced by :meth:`state_dict` (shapes must match)."""
+        params = dict(self.named_parameters())
+        for name, value in state.items():
+            if name.startswith("buffer::"):
+                self._load_buffer(name[len("buffer::"):], value)
+                continue
+            if name not in params:
+                raise KeyError(f"unexpected parameter {name!r} in state dict")
+            if params[name].data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{params[name].data.shape} vs {value.shape}"
+                )
+            params[name].data = value.astype(params[name].data.dtype).copy()
+
+    def _load_buffer(self, qualified: str, value: np.ndarray) -> None:
+        parts = qualified.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module.update_buffer(parts[-1], value)
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        child_lines = [f"  ({name}): {child.__class__.__name__}" for name, child in self._modules.items()]
+        body = "\n".join(child_lines)
+        if body:
+            return f"{self.__class__.__name__}(\n{body}\n)"
+        return f"{self.__class__.__name__}()"

@@ -1,0 +1,75 @@
+"""Normalisation layers: BatchNorm2d and LayerNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+__all__ = ["BatchNorm2d", "LayerNorm"]
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) for each channel of an NCHW input.
+
+    Training mode normalises with batch statistics and updates exponential
+    running averages; evaluation mode uses the running averages.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        c = self.num_features
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            # Update running statistics outside the autograd graph.
+            batch_mean = mean.data.reshape(c)
+            batch_var = var.data.reshape(c)
+            m = self.momentum
+            self.update_buffer("running_mean", (1 - m) * self.running_mean + m * batch_mean)
+            self.update_buffer("running_var", (1 - m) * self.running_var + m * batch_var)
+            normalised = centered / ((var + self.eps) ** 0.5)
+        else:
+            mean = Tensor(self.running_mean.reshape(1, c, 1, 1))
+            var = Tensor(self.running_var.reshape(1, c, 1, 1))
+            normalised = (x - mean) / ((var + self.eps) ** 0.5)
+        gamma = self.weight.reshape(1, c, 1, 1)
+        beta = self.bias.reshape(1, c, 1, 1)
+        return normalised * gamma + beta
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BatchNorm2d({self.num_features}, eps={self.eps}, momentum={self.momentum})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_shape = int(normalized_shape)
+        self.eps = float(eps)
+        self.weight = Parameter(np.ones(normalized_shape, dtype=np.float32))
+        self.bias = Parameter(np.zeros(normalized_shape, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / ((var + self.eps) ** 0.5)
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"

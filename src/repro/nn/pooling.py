@@ -1,0 +1,38 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor.conv_ops import avg_pool2d, global_avg_pool2d, max_pool2d
+from repro.tensor.tensor import Tensor
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, producing (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x)

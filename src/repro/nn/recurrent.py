@@ -1,0 +1,125 @@
+"""Recurrent layers: LSTMCell and a (possibly multi-layer) LSTM.
+
+The language-modelling workload of the paper (LSTM on WikiText-2) is
+reproduced with this implementation.  The weight layout follows PyTorch:
+``weight_ih`` of shape ``(4*hidden, input)`` and ``weight_hh`` of shape
+``(4*hidden, hidden)``, gates ordered input/forget/cell/output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import init
+from repro.tensor.tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """Single LSTM step.
+
+    Parameters
+    ----------
+    input_size, hidden_size:
+        Feature widths of the input and the hidden/cell state.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        bound = 1.0 / np.sqrt(hidden_size)
+        self.weight_ih = Parameter(init.uniform((4 * hidden_size, input_size), -bound, bound, rng=rng))
+        self.weight_hh = Parameter(init.uniform((4 * hidden_size, hidden_size), -bound, bound, rng=rng))
+        self.bias_ih = Parameter(init.uniform((4 * hidden_size,), -bound, bound, rng=rng))
+        self.bias_hh = Parameter(init.uniform((4 * hidden_size,), -bound, bound, rng=rng))
+
+    def forward(
+        self, x: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None
+    ) -> Tuple[Tensor, Tensor]:
+        """Run one step; returns the new ``(h, c)`` pair."""
+        n = x.shape[0]
+        h_size = self.hidden_size
+        if state is None:
+            h = Tensor(np.zeros((n, h_size), dtype=np.float32))
+            c = Tensor(np.zeros((n, h_size), dtype=np.float32))
+        else:
+            h, c = state
+        gates = (
+            x.matmul(self.weight_ih.T)
+            + h.matmul(self.weight_hh.T)
+            + self.bias_ih
+            + self.bias_hh
+        )
+        i_gate = gates[:, 0 * h_size : 1 * h_size].sigmoid()
+        f_gate = gates[:, 1 * h_size : 2 * h_size].sigmoid()
+        g_gate = gates[:, 2 * h_size : 3 * h_size].tanh()
+        o_gate = gates[:, 3 * h_size : 4 * h_size].sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """Multi-layer LSTM unrolled over the time dimension.
+
+    Input is ``(N, T, input_size)``; the output is the top layer's hidden
+    state at every step, shape ``(N, T, hidden_size)``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        self.num_layers = int(num_layers)
+        cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cell = LSTMCell(in_size, hidden_size, rng=rng)
+            self.add_module(f"cell{layer}", cell)
+            cells.append(cell)
+        self.cells = cells
+
+    def forward(
+        self,
+        x: Tensor,
+        state: Optional[List[Tuple[Tensor, Tensor]]] = None,
+    ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        """Run the full sequence.
+
+        Returns
+        -------
+        (outputs, final_states):
+            ``outputs`` has shape ``(N, T, hidden)``; ``final_states`` is the
+            list of per-layer ``(h, c)`` pairs after the last step.
+        """
+        n, t, _ = x.shape
+        if state is None:
+            state = [None] * self.num_layers  # type: ignore[list-item]
+        else:
+            state = list(state)
+        outputs: List[Tensor] = []
+        for step in range(t):
+            inp = x[:, step, :]
+            for layer, cell in enumerate(self.cells):
+                h, c = cell(inp, state[layer])
+                state[layer] = (h, c)
+                inp = h
+            outputs.append(inp)
+        stacked = Tensor.stack(outputs, axis=1)
+        return stacked, state  # type: ignore[return-value]

@@ -1,0 +1,57 @@
+"""Gradient sparsifiers.
+
+This package implements the paper's proposal (DEFT) and every baseline it is
+compared against in Table 1 and Section 5:
+
+- :class:`~repro.sparsifiers.topk.TopKSparsifier` -- classic local Top-k,
+- :class:`~repro.sparsifiers.cltk.CLTKSparsifier` -- cyclic local top-k
+  (ScaleCom's CLT-k),
+- :class:`~repro.sparsifiers.hard_threshold.HardThresholdSparsifier` -- fixed
+  threshold selection,
+- :class:`~repro.sparsifiers.sidco.SIDCoSparsifier` -- multi-stage statistical
+  threshold estimation,
+- :class:`~repro.sparsifiers.randomk.RandomKSparsifier` -- random-k control,
+- :class:`~repro.sparsifiers.dgc.DGCSparsifier` -- DGC-style sampled Top-k,
+- :class:`~repro.sparsifiers.gaussiank.GaussianKSparsifier` -- Gaussian-quantile
+  threshold estimation,
+- :class:`~repro.sparsifiers.gtopk.GlobalTopKSparsifier` -- gTop-k global merge,
+- :class:`~repro.sparsifiers.deft.DEFTSparsifier` -- the paper's contribution
+  (Algorithms 2-5),
+- :class:`~repro.sparsifiers.dense.DenseSparsifier` -- "select everything",
+  i.e. non-sparsified distributed SGD, used as the convergence reference.
+
+All sparsifiers share the :class:`~repro.sparsifiers.base.Sparsifier`
+interface; :func:`~repro.sparsifiers.registry.build_sparsifier` creates them
+by name.
+"""
+
+from repro.sparsifiers.base import GradientLayout, SelectionResult, Sparsifier
+from repro.sparsifiers.topk import TopKSparsifier
+from repro.sparsifiers.cltk import CLTKSparsifier
+from repro.sparsifiers.hard_threshold import HardThresholdSparsifier
+from repro.sparsifiers.sidco import SIDCoSparsifier
+from repro.sparsifiers.randomk import RandomKSparsifier
+from repro.sparsifiers.dense import DenseSparsifier
+from repro.sparsifiers.dgc import DGCSparsifier
+from repro.sparsifiers.gaussiank import GaussianKSparsifier
+from repro.sparsifiers.gtopk import GlobalTopKSparsifier
+from repro.sparsifiers.deft import DEFTSparsifier
+from repro.sparsifiers.registry import available_sparsifiers, build_sparsifier
+
+__all__ = [
+    "Sparsifier",
+    "GradientLayout",
+    "SelectionResult",
+    "TopKSparsifier",
+    "CLTKSparsifier",
+    "HardThresholdSparsifier",
+    "SIDCoSparsifier",
+    "RandomKSparsifier",
+    "DenseSparsifier",
+    "DGCSparsifier",
+    "GaussianKSparsifier",
+    "GlobalTopKSparsifier",
+    "DEFTSparsifier",
+    "build_sparsifier",
+    "available_sparsifiers",
+]

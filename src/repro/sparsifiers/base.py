@@ -1,0 +1,184 @@
+"""Sparsifier interface and shared data structures.
+
+A sparsifier's job (Algorithm 1, line 6) is to map a worker's error-feedback
+accumulator -- the flat vector ``acc = e + lr * grad`` of length ``n_g`` --
+to the set of indices that worker will contribute to the sparse all-gather.
+
+Two extension points cover every method in the paper:
+
+``select(iteration, rank, acc_flat)``
+    The worker-local selection.  Called once per worker per iteration.
+
+``coordinate(iteration, acc_per_worker, backend)``
+    An optional collective phase executed *before* the per-worker selection.
+    CLT-k uses it to let the cyclic leader broadcast its indices; DEFT uses
+    it to let the delegated worker broadcast the bin-packing allocation.
+    Implementations must route any shared data through ``backend`` so the
+    traffic meter sees the (small) coordination overhead the paper accounts
+    for in Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.backend import CollectiveBackend
+from repro.utils.flatten import FlatSpec
+
+__all__ = ["GradientLayout", "SelectionResult", "Sparsifier"]
+
+
+@dataclass(frozen=True)
+class GradientLayout:
+    """Layer structure of the flat gradient vector.
+
+    One entry per model parameter tensor (the paper's "layers"), in model
+    registration order: ``names[i]`` owns ``sizes[i]`` consecutive elements
+    starting at ``offsets[i]``.
+    """
+
+    names: Tuple[str, ...]
+    sizes: Tuple[int, ...]
+    offsets: Tuple[int, ...]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.names)
+
+    @property
+    def total_size(self) -> int:
+        """Total number of gradients in the model (the paper's ``n_g``)."""
+        return int(sum(self.sizes))
+
+    def slices(self) -> List[slice]:
+        return [slice(o, o + s) for o, s in zip(self.offsets, self.sizes)]
+
+    def layer_norms(self, flat: np.ndarray, ord: int = 2) -> np.ndarray:
+        """Per-layer norm of a flat vector laid out according to this layout."""
+        flat = np.asarray(flat).reshape(-1)
+        if flat.size != self.total_size:
+            raise ValueError(f"vector has {flat.size} elements, layout expects {self.total_size}")
+        return np.array(
+            [np.linalg.norm(flat[o : o + s], ord=ord) for o, s in zip(self.offsets, self.sizes)],
+            dtype=np.float64,
+        )
+
+    @classmethod
+    def from_flat_spec(cls, spec: FlatSpec) -> "GradientLayout":
+        return cls(names=tuple(spec.names), sizes=tuple(spec.sizes), offsets=tuple(spec.offsets))
+
+    @classmethod
+    def from_named_shapes(cls, named_shapes: Sequence[Tuple[str, Tuple[int, ...]]]) -> "GradientLayout":
+        names: List[str] = []
+        sizes: List[int] = []
+        offsets: List[int] = []
+        offset = 0
+        for name, shape in named_shapes:
+            size = int(np.prod(shape)) if len(shape) else 1
+            names.append(str(name))
+            sizes.append(size)
+            offsets.append(offset)
+            offset += size
+        return cls(names=tuple(names), sizes=tuple(sizes), offsets=tuple(offsets))
+
+    @classmethod
+    def from_model(cls, model) -> "GradientLayout":
+        """Build the layout from a :class:`repro.nn.Module`."""
+        return cls.from_named_shapes([(name, p.shape) for name, p in model.named_parameters()])
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one worker's selection in one iteration."""
+
+    indices: np.ndarray
+    #: Number of gradients the sparsifier *intended* to select (its local k).
+    target_k: int
+    #: Wall-clock seconds spent inside the selection kernel.
+    selection_seconds: float = 0.0
+    #: Analytic selection cost (sum of n_{g,x} * log2(k_x) over searched layers).
+    analytic_cost: float = 0.0
+    #: Free-form extras (e.g. the threshold used).
+    info: dict = field(default_factory=dict)
+
+    @property
+    def k_selected(self) -> int:
+        return int(self.indices.shape[0])
+
+
+class Sparsifier:
+    """Base class of all gradient sparsifiers."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "base"
+    #: Whether the actual density can exceed the configured density through
+    #: gradient build-up (Table 1, "Gradient build-up").
+    has_gradient_buildup: bool = True
+    #: Whether the method needs per-model threshold tuning (Table 1).
+    needs_hyperparameter_tuning: bool = False
+    #: Whether some workers idle while another selects (Table 1).
+    has_worker_idling: bool = False
+
+    def __init__(self, density: float) -> None:
+        if not 0.0 < density <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        self.density = float(density)
+        self.layout: Optional[GradientLayout] = None
+        self.n_workers: int = 1
+        self.seed: int = 0
+        self._configured = False
+
+    # ------------------------------------------------------------------ #
+    def setup(self, layout: GradientLayout, n_workers: int, seed: int = 0) -> None:
+        """Bind the sparsifier to a model layout and worker-group size."""
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.layout = layout
+        self.n_workers = int(n_workers)
+        self.seed = int(seed)
+        self._configured = True
+        self._post_setup()
+
+    def _post_setup(self) -> None:
+        """Hook for subclasses needing extra setup work."""
+
+    def _require_setup(self) -> GradientLayout:
+        if not self._configured or self.layout is None:
+            raise RuntimeError(f"{type(self).__name__}.setup() must be called before use")
+        return self.layout
+
+    # ------------------------------------------------------------------ #
+    @property
+    def global_k(self) -> int:
+        """The user-requested number of selected gradients, ``k = d * n_g``."""
+        layout = self._require_setup()
+        return max(1, int(round(self.density * layout.total_size)))
+
+    def coordinate(
+        self,
+        iteration: int,
+        acc_per_worker: Sequence[np.ndarray],
+        backend: Optional[CollectiveBackend] = None,
+    ) -> None:
+        """Optional pre-selection collective phase (default: nothing)."""
+
+    def select(self, iteration: int, rank: int, acc_flat: np.ndarray) -> SelectionResult:
+        """Return the indices this worker contributes in this iteration."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Qualitative properties used for the Table-1 reproduction."""
+        return {
+            "name": self.name,
+            "density": self.density,
+            "gradient_buildup": self.has_gradient_buildup,
+            "hyperparameter_tuning": self.needs_hyperparameter_tuning,
+            "worker_idling": self.has_worker_idling,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(density={self.density})"

@@ -1,0 +1,36 @@
+"""DEFT: Distributed Execution of Fragmented Top-k.
+
+The paper's contribution, decomposed exactly as Section 4 describes it:
+
+- :mod:`repro.sparsifiers.deft.partitioning` -- Algorithm 2, two-stage
+  gradient vector partitioning,
+- :mod:`repro.sparsifiers.deft.k_assignment` -- Algorithm 3, gradient-norm
+  based local ``k`` assignment,
+- :mod:`repro.sparsifiers.deft.allocation` -- Algorithm 4, bin-packing based
+  layer allocation to workers (plus round-robin / size-only ablations),
+- :mod:`repro.sparsifiers.deft.selection` -- Algorithm 5, layer-wise gradient
+  selection,
+- :mod:`repro.sparsifiers.deft.deft` -- the :class:`DEFTSparsifier` tying the
+  four stages together behind the common sparsifier interface.
+"""
+
+from repro.sparsifiers.deft.partitioning import LayerPartition, two_stage_partition
+from repro.sparsifiers.deft.k_assignment import assign_local_k
+from repro.sparsifiers.deft.allocation import (
+    AllocationPolicy,
+    allocate_layers,
+    layer_costs,
+)
+from repro.sparsifiers.deft.selection import layerwise_select
+from repro.sparsifiers.deft.deft import DEFTSparsifier
+
+__all__ = [
+    "LayerPartition",
+    "two_stage_partition",
+    "assign_local_k",
+    "AllocationPolicy",
+    "allocate_layers",
+    "layer_costs",
+    "layerwise_select",
+    "DEFTSparsifier",
+]

@@ -1,0 +1,92 @@
+"""Algorithm 3: gradient-norm based local ``k`` assignment.
+
+The global budget ``k = d * n_g`` is spread over the partitioned layers in
+proportion to each layer's gradient L2 norm, visiting layers in decreasing
+norm order (highest priority first).  A layer can never be assigned more
+than its size, and any layer visited while budget remains gets at least one
+slot, so the layers with the largest norms keep the densest selection --
+the paper's central heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sparsifiers.deft.partitioning import LayerPartition
+
+__all__ = ["assign_local_k", "layer_norms"]
+
+
+def layer_norms(acc_flat: np.ndarray, partitions: Sequence[LayerPartition], ord: int = 2) -> np.ndarray:
+    """Per-partition norms of a flat accumulator vector."""
+    flat = np.asarray(acc_flat).reshape(-1)
+    return np.array(
+        [np.linalg.norm(flat[p.start : p.end], ord=ord) for p in partitions], dtype=np.float64
+    )
+
+
+def assign_local_k(
+    partitions: Sequence[LayerPartition],
+    norms: Sequence[float],
+    k_total: int,
+) -> np.ndarray:
+    """Assign a local ``k`` to every partition per Algorithm 3.
+
+    Parameters
+    ----------
+    partitions:
+        The partitioned layers (Algorithm 2 output), in vector order.
+    norms:
+        Gradient norm of each partition (same order as ``partitions``).
+    k_total:
+        The global selection budget ``k = d * n_g``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``k[i]`` is the number of gradients to select inside partition ``i``
+        (vector order, not priority order).  ``sum(k) <= size`` per layer and
+        the total is close to ``k_total`` (it can deviate slightly because of
+        the ``max(1, .)`` floor and the size cap, exactly as in the paper).
+    """
+    n = len(partitions)
+    norms_arr = np.asarray(norms, dtype=np.float64)
+    if norms_arr.shape[0] != n:
+        raise ValueError("norms must have one entry per partition")
+    if np.any(norms_arr < 0):
+        raise ValueError("norms must be non-negative")
+    k_total = int(k_total)
+    if k_total < 0:
+        raise ValueError("k_total must be non-negative")
+
+    ks = np.zeros(n, dtype=np.int64)
+    if n == 0 or k_total == 0:
+        return ks
+
+    # Priority: decreasing norm; ties broken by vector order for determinism.
+    priority = np.lexsort((np.arange(n), -norms_arr))
+    k_remain = float(k_total)
+    norm_remain = float(norms_arr.sum())
+
+    for idx in priority:
+        layer_size = partitions[idx].size
+        if norm_remain > 0:
+            k_temp = k_remain * (norms_arr[idx] / norm_remain)
+        else:
+            k_temp = 0.0
+        if layer_size < k_temp:
+            assigned = layer_size
+        else:
+            # The paper floors the assignment at 1 (Algorithm 3 line 13):
+            # every layer contributes at least one gradient, which is why the
+            # realised total can exceed k by up to one unit per layer.
+            assigned = max(1, int(k_temp))
+        assigned = min(assigned, layer_size)
+        ks[idx] = assigned
+        k_remain -= assigned
+        norm_remain -= float(norms_arr[idx])
+        if k_remain <= 0:
+            k_remain = 0.0
+    return ks

@@ -1,0 +1,38 @@
+"""Dense (non-sparsified) "sparsifier".
+
+Selecting every index turns Algorithm 1 into plain synchronous data-parallel
+SGD, which is the "Non-sparsified" reference curve of Figures 3, 8 and 10.
+Routing it through the same code path as the real sparsifiers keeps the
+comparison apples-to-apples (same error-feedback buffers, same averaging).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsifiers.base import SelectionResult, Sparsifier
+
+__all__ = ["DenseSparsifier"]
+
+
+class DenseSparsifier(Sparsifier):
+    """Select every gradient (density forced to 1.0)."""
+
+    name = "dense"
+    has_gradient_buildup = False
+    needs_hyperparameter_tuning = False
+    has_worker_idling = False
+
+    def __init__(self, density: float = 1.0) -> None:
+        super().__init__(1.0)
+
+    def select(self, iteration: int, rank: int, acc_flat: np.ndarray) -> SelectionResult:
+        layout = self._require_setup()
+        indices = np.arange(layout.total_size, dtype=np.int64)
+        return SelectionResult(
+            indices=indices,
+            target_k=layout.total_size,
+            selection_seconds=0.0,
+            analytic_cost=0.0,
+            info={"method": "dense"},
+        )

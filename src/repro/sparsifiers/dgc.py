@@ -1,0 +1,107 @@
+"""DGC-style sampled Top-k sparsifier.
+
+Deep Gradient Compression (Lin et al., 2017 -- reference [23] of the DEFT
+paper) avoids a full-vector sort by *sampling*: it estimates the Top-k
+threshold from a random subsample of the gradient magnitudes, selects
+everything above that estimate, and, if the estimate was too loose, runs an
+exact Top-k only on the (much smaller) set of survivors.  Selection cost is
+``O(s + m log k)`` where ``s`` is the sample size and ``m`` the number of
+survivors -- cheaper than ``O(n_g log k)`` but still per-worker, and the
+index sets still differ across workers, so gradient build-up remains.
+
+This baseline is included because the DEFT paper's related-work discussion
+groups it with the sorting-based sparsifiers whose cost DEFT's partitioning
+removes; having it in the registry lets the benchmark suite place DEFT
+against a cheaper-but-still-building-up competitor.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.sparsifiers.base import SelectionResult, Sparsifier
+from repro.utils.topk_ops import threshold_indices, topk_indices, topk_threshold
+
+__all__ = ["DGCSparsifier"]
+
+
+class DGCSparsifier(Sparsifier):
+    """Sampled-threshold Top-k selection (Deep Gradient Compression style).
+
+    Parameters
+    ----------
+    density:
+        Target density ``d``.
+    sample_ratio:
+        Fraction of the gradient vector sampled for threshold estimation.
+    refine:
+        When true (default) and the threshold pass keeps more than
+        ``overshoot_tolerance * k`` entries, an exact Top-k over the
+        survivors trims the selection back to ``k``.
+    overshoot_tolerance:
+        Allowed overshoot factor before the refinement pass triggers.
+    """
+
+    name = "dgc"
+    has_gradient_buildup = True
+    needs_hyperparameter_tuning = False
+    has_worker_idling = False
+
+    def __init__(
+        self,
+        density: float,
+        sample_ratio: float = 0.1,
+        refine: bool = True,
+        overshoot_tolerance: float = 1.5,
+    ) -> None:
+        super().__init__(density)
+        if not 0.0 < sample_ratio <= 1.0:
+            raise ValueError("sample_ratio must be in (0, 1]")
+        if overshoot_tolerance < 1.0:
+            raise ValueError("overshoot_tolerance must be >= 1")
+        self.sample_ratio = float(sample_ratio)
+        self.refine = bool(refine)
+        self.overshoot_tolerance = float(overshoot_tolerance)
+
+    def _sample_threshold(self, magnitudes: np.ndarray, rng: np.random.Generator) -> float:
+        n = magnitudes.shape[0]
+        sample_size = max(1, int(round(self.sample_ratio * n)))
+        if sample_size >= n:
+            sample = magnitudes
+        else:
+            sample = magnitudes[rng.integers(0, n, size=sample_size)]
+        sample_k = max(1, int(round(self.density * sample.shape[0])))
+        return topk_threshold(sample, sample_k)
+
+    def select(self, iteration: int, rank: int, acc_flat: np.ndarray) -> SelectionResult:
+        layout = self._require_setup()
+        flat = np.asarray(acc_flat).reshape(-1)
+        k = self.global_k
+        rng = np.random.default_rng((self.seed * 9176 + iteration) * 131 + rank)
+
+        start = time.perf_counter()
+        magnitudes = np.abs(flat)
+        threshold = self._sample_threshold(magnitudes, rng)
+        candidates = threshold_indices(flat, threshold)
+        refined = False
+        if self.refine and candidates.shape[0] > self.overshoot_tolerance * k:
+            refined = True
+            local = topk_indices(flat[candidates], k)
+            candidates = candidates[local]
+        elapsed = time.perf_counter() - start
+
+        sample_size = max(1, int(round(self.sample_ratio * layout.total_size)))
+        analytic = float(layout.total_size) + sample_size * math.log2(max(k, 2))
+        if refined:
+            analytic += candidates.shape[0] * math.log2(max(k, 2))
+        return SelectionResult(
+            indices=candidates.astype(np.int64, copy=False),
+            target_k=k,
+            selection_seconds=elapsed,
+            analytic_cost=analytic,
+            info={"threshold": float(threshold), "refined": refined, "sample_ratio": self.sample_ratio},
+        )

@@ -1,0 +1,77 @@
+"""Hard-threshold sparsifier.
+
+Sahu et al. (NeurIPS 2021, "Rethinking gradient sparsification as total error
+minimization") select every accumulator entry whose magnitude exceeds a fixed
+threshold ``lambda`` chosen before training.  Selection is O(n_g) -- no
+sorting -- but the number of selected gradients is unpredictable and the
+threshold must be tuned per model/dataset (Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.sparsifiers.base import GradientLayout, SelectionResult, Sparsifier
+from repro.utils.topk_ops import threshold_indices, topk_threshold
+
+__all__ = ["HardThresholdSparsifier"]
+
+
+class HardThresholdSparsifier(Sparsifier):
+    """Select all entries with ``|acc| >= threshold`` for a fixed threshold.
+
+    Parameters
+    ----------
+    density:
+        Only used as the *intended* density (for density-tracking metrics);
+        the actual number of selected gradients is whatever clears the
+        threshold.
+    threshold:
+        The fixed selection threshold.  When omitted, it is calibrated once
+        on the first accumulator seen so that the first iteration selects
+        approximately ``density * n_g`` entries -- this mirrors how
+        practitioners tune the hyperparameter on a profiling run, and is the
+        behaviour the paper criticises (the threshold then goes stale as
+        gradient magnitudes shrink during training).
+    """
+
+    name = "hard_threshold"
+    has_gradient_buildup = True
+    needs_hyperparameter_tuning = True
+    has_worker_idling = False
+
+    def __init__(self, density: float, threshold: Optional[float] = None) -> None:
+        super().__init__(density)
+        self.threshold = None if threshold is None else float(threshold)
+        self._calibrated = threshold is not None
+
+    def calibrate(self, acc_flat: np.ndarray) -> float:
+        """Choose the threshold so ``acc_flat`` would select ~``k`` entries."""
+        k = self.global_k
+        self.threshold = float(topk_threshold(np.asarray(acc_flat).reshape(-1), k))
+        self._calibrated = True
+        return self.threshold
+
+    def select(self, iteration: int, rank: int, acc_flat: np.ndarray) -> SelectionResult:
+        layout = self._require_setup()
+        flat = np.asarray(acc_flat).reshape(-1)
+        if not self._calibrated:
+            self.calibrate(flat)
+        assert self.threshold is not None
+        start = time.perf_counter()
+        indices = threshold_indices(flat, self.threshold)
+        elapsed = time.perf_counter() - start
+        # O(n_g) scan; expressed in the same units as the n log k model by
+        # using log2(2) = 1 as the per-element factor.
+        analytic = float(layout.total_size)
+        return SelectionResult(
+            indices=indices,
+            target_k=self.global_k,
+            selection_seconds=elapsed,
+            analytic_cost=analytic,
+            info={"threshold": self.threshold},
+        )

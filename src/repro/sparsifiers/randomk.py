@@ -1,0 +1,49 @@
+"""Random-k sparsifier (control baseline).
+
+Selects ``k`` uniformly random indices per worker per iteration.  Not part of
+the paper's comparison table, but a useful control in ablations: it shares
+Top-k's communication pattern (and build-up) while ignoring magnitudes, which
+isolates how much of DEFT's accuracy comes from magnitude-aware selection.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.sparsifiers.base import SelectionResult, Sparsifier
+
+__all__ = ["RandomKSparsifier"]
+
+
+class RandomKSparsifier(Sparsifier):
+    """Uniformly random index selection."""
+
+    name = "randomk"
+    has_gradient_buildup = True
+    needs_hyperparameter_tuning = False
+    has_worker_idling = False
+
+    def __init__(self, density: float) -> None:
+        super().__init__(density)
+        self._rng: np.random.Generator = np.random.default_rng(0)
+
+    def _post_setup(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def select(self, iteration: int, rank: int, acc_flat: np.ndarray) -> SelectionResult:
+        layout = self._require_setup()
+        k = min(self.global_k, layout.total_size)
+        # Derive a per-(iteration, rank) stream so simulated workers differ.
+        rng = np.random.default_rng((self.seed * 1_000_003 + iteration) * 31 + rank)
+        start = time.perf_counter()
+        indices = rng.choice(layout.total_size, size=k, replace=False).astype(np.int64)
+        elapsed = time.perf_counter() - start
+        return SelectionResult(
+            indices=indices,
+            target_k=k,
+            selection_seconds=elapsed,
+            analytic_cost=float(k),
+            info={"method": "random"},
+        )

@@ -1,0 +1,56 @@
+"""Factory for sparsifiers, keyed by the names used in the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.sparsifiers.base import Sparsifier
+from repro.sparsifiers.cltk import CLTKSparsifier
+from repro.sparsifiers.deft import DEFTSparsifier
+from repro.sparsifiers.dense import DenseSparsifier
+from repro.sparsifiers.dgc import DGCSparsifier
+from repro.sparsifiers.gaussiank import GaussianKSparsifier
+from repro.sparsifiers.gtopk import GlobalTopKSparsifier
+from repro.sparsifiers.hard_threshold import HardThresholdSparsifier
+from repro.sparsifiers.randomk import RandomKSparsifier
+from repro.sparsifiers.sidco import SIDCoSparsifier
+from repro.sparsifiers.topk import TopKSparsifier
+
+__all__ = ["build_sparsifier", "available_sparsifiers"]
+
+_BUILDERS: Dict[str, Callable[..., Sparsifier]] = {
+    "topk": TopKSparsifier,
+    "cltk": CLTKSparsifier,
+    "hard_threshold": HardThresholdSparsifier,
+    "sidco": SIDCoSparsifier,
+    "randomk": RandomKSparsifier,
+    "dense": DenseSparsifier,
+    "deft": DEFTSparsifier,
+    "dgc": DGCSparsifier,
+    "gaussiank": GaussianKSparsifier,
+    "gtopk": GlobalTopKSparsifier,
+}
+
+
+def build_sparsifier(name: str, density: float, **kwargs) -> Sparsifier:
+    """Instantiate a sparsifier by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_sparsifiers`.
+    density:
+        Target density ``d``.
+    kwargs:
+        Extra constructor arguments (e.g. ``threshold=`` for
+        ``hard_threshold``, ``allocation_policy=`` for ``deft``).
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown sparsifier {name!r}; available: {available_sparsifiers()}")
+    return _BUILDERS[key](density, **kwargs)
+
+
+def available_sparsifiers():
+    """Sorted list of registered sparsifier names."""
+    return sorted(_BUILDERS)

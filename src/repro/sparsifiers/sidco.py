@@ -1,0 +1,94 @@
+"""SIDCo-style statistical threshold sparsifier.
+
+SIDCo (Abdelmoniem et al., MLSys 2021) avoids sorting by *fitting a
+parametric model to the gradient-magnitude distribution* each iteration and
+inverting its tail to obtain the threshold that should keep a ``density``
+fraction of entries.  The reference system fits sparsity-inducing
+distributions (exponential / gamma / generalised Pareto) in multiple stages;
+this implementation reproduces the multi-stage exponential variant, which is
+the one the SIDCo paper reports as the best latency/quality trade-off:
+
+1. fit an exponential distribution to ``|acc|`` by maximum likelihood
+   (``scale = mean``),
+2. compute the threshold ``t = scale * (-ln(target_ratio))``,
+3. restrict the sample to entries above the current threshold and repeat,
+   sharpening the estimate of the extreme tail,
+4. after ``n_stages`` rounds, select everything above the final threshold.
+
+The estimation cost is O(n_g) per stage, and because the fit is imperfect the
+realised density fluctuates around the target -- the "unpredictable density"
+weakness listed in Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import List
+
+import numpy as np
+
+from repro.sparsifiers.base import SelectionResult, Sparsifier
+from repro.utils.topk_ops import threshold_indices
+
+__all__ = ["SIDCoSparsifier"]
+
+
+class SIDCoSparsifier(Sparsifier):
+    """Multi-stage exponential-fit threshold estimation."""
+
+    name = "sidco"
+    has_gradient_buildup = True
+    needs_hyperparameter_tuning = False
+    has_worker_idling = False
+
+    def __init__(self, density: float, n_stages: int = 3) -> None:
+        super().__init__(density)
+        if n_stages < 1:
+            raise ValueError("n_stages must be >= 1")
+        self.n_stages = int(n_stages)
+
+    def estimate_threshold(self, magnitudes: np.ndarray) -> float:
+        """Run the multi-stage exponential fit and return the threshold."""
+        target_ratio = self.density
+        sample = magnitudes
+        threshold = 0.0
+        # Split the overall tail probability evenly (in log space) over stages:
+        # after each stage we keep ratio^(1/n_stages) of the current sample.
+        stage_ratio = target_ratio ** (1.0 / self.n_stages)
+        for _ in range(self.n_stages):
+            if sample.size == 0:
+                break
+            scale = float(sample.mean())
+            if scale <= 0:
+                break
+            stage_threshold = scale * (-math.log(stage_ratio))
+            threshold += stage_threshold
+            sample = sample[sample >= stage_threshold] - stage_threshold
+        return threshold
+
+    def select(self, iteration: int, rank: int, acc_flat: np.ndarray) -> SelectionResult:
+        layout = self._require_setup()
+        flat = np.asarray(acc_flat).reshape(-1)
+        # The statistical fit is SIDCo's "additional overhead" (Table 1);
+        # the final threshold scan is the actual selection.
+        fit_start = time.perf_counter()
+        magnitudes = np.abs(flat)
+        threshold = self.estimate_threshold(magnitudes)
+        fit_seconds = time.perf_counter() - fit_start
+        scan_start = time.perf_counter()
+        indices = threshold_indices(flat, threshold)
+        scan_seconds = time.perf_counter() - scan_start
+        # O(n_g) per stage plus the final scan.
+        analytic = float(layout.total_size) * (self.n_stages + 1)
+        return SelectionResult(
+            indices=indices,
+            target_k=self.global_k,
+            selection_seconds=scan_seconds,
+            analytic_cost=analytic,
+            info={
+                "threshold": threshold,
+                "n_stages": self.n_stages,
+                "overhead_seconds": fit_seconds,
+            },
+        )

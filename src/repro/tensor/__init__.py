@@ -1,0 +1,23 @@
+"""A small NumPy reverse-mode autograd engine.
+
+The DEFT paper builds on PyTorch; this reproduction has no GPU or PyTorch
+available, so :mod:`repro.tensor` provides the minimal automatic
+differentiation substrate the rest of the library needs:
+
+- :class:`repro.tensor.Tensor` -- an n-d array with a ``grad`` buffer and a
+  reverse-mode computation graph,
+- :mod:`repro.tensor.functional` -- neural-network oriented operations
+  (softmax, cross-entropy, dropout, embedding lookup, ...),
+- :mod:`repro.tensor.conv_ops` -- im2col-based 2-D convolution and pooling,
+- :mod:`repro.tensor.init` -- weight initialisers.
+
+Only the features needed by :mod:`repro.nn` and :mod:`repro.models` are
+implemented, but each op's backward pass is exact and covered by
+finite-difference tests.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor import init
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "init"]

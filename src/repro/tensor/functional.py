@@ -1,0 +1,169 @@
+"""Neural-network oriented functional operations on :class:`~repro.tensor.Tensor`.
+
+Everything here is composed from the differentiable primitives defined in
+:mod:`repro.tensor.tensor` (or builds a custom backward through
+``Tensor._make``), so gradients flow automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "dropout",
+    "embedding",
+    "one_hot",
+    "linear",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``.
+
+    ``weight`` has shape ``(out_features, in_features)`` as in PyTorch.
+    """
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    logsumexp = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - logsumexp
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log likelihood given log-probabilities and integer targets."""
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    n = log_probs.shape[0]
+    picked = log_probs[(np.arange(n), targets)]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy with integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(N, C)``.
+    targets:
+        Integer array of shape ``(N,)``.
+    """
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the identity ``BCE(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=np.float32))
+    x = logits
+    max_part = x.relu()
+    abs_x = x.relu() + (-x).relu()
+    loss = max_part - x * targets_t + ((-abs_x).exp() + 1.0).log()
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def mse_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float32))
+    diff = prediction - target_t
+    loss = diff * diff
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def dropout(
+    x: Tensor,
+    p: float,
+    training: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p`` and rescale."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    if not training or p == 0.0:
+        return x
+    rng = rng if rng is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` at integer ``indices``.
+
+    The backward pass scatters gradients back into the embedding matrix, so
+    the embedding layer's gradient tensor has the full ``(V, D)`` shape --
+    exactly the large, sparse-gradient layer shape that makes the paper's
+    LSTM and NCF workloads interesting for sparsification.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    return weight[idx]
+
+
+def one_hot(indices: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """Return a one-hot encoded array (plain NumPy; no gradient needed)."""
+    idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+    out = np.zeros((idx.shape[0], num_classes), dtype=dtype)
+    out[np.arange(idx.shape[0]), idx] = 1
+    return out

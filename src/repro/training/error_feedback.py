@@ -1,0 +1,58 @@
+"""Error-feedback memory (Seide et al., 2014).
+
+Each worker keeps a local error vector ``e`` of the same length as the flat
+gradient.  Per iteration (Algorithm 1, lines 5, 11, 12):
+
+- ``acc = e + lr * grad`` -- unselected gradients from previous iterations
+  are added back before selection,
+- after the globally selected indices are known, those entries of ``acc``
+  are zeroed (they were transmitted) and the remainder becomes the new ``e``.
+
+The L2 norm of ``e`` averaged over workers is the "error" metric of
+Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ErrorFeedbackMemory"]
+
+
+class ErrorFeedbackMemory:
+    """Per-worker error-feedback accumulator."""
+
+    def __init__(self, n_gradients: int, dtype=np.float64) -> None:
+        if n_gradients <= 0:
+            raise ValueError("n_gradients must be positive")
+        self.n_gradients = int(n_gradients)
+        self.error = np.zeros(self.n_gradients, dtype=dtype)
+
+    def accumulate(self, grad_flat: np.ndarray, lr: float) -> np.ndarray:
+        """Return ``acc = e + lr * grad`` (does not modify the stored error)."""
+        grad_flat = np.asarray(grad_flat, dtype=self.error.dtype).reshape(-1)
+        if grad_flat.size != self.n_gradients:
+            raise ValueError(
+                f"gradient has {grad_flat.size} elements, expected {self.n_gradients}"
+            )
+        return self.error + lr * grad_flat
+
+    def update(self, acc: np.ndarray, selected_indices: np.ndarray) -> None:
+        """Zero the transmitted entries of ``acc`` and store it as the new error."""
+        acc = np.asarray(acc, dtype=self.error.dtype).reshape(-1)
+        if acc.size != self.n_gradients:
+            raise ValueError(f"accumulator has {acc.size} elements, expected {self.n_gradients}")
+        new_error = acc.copy()
+        if selected_indices is not None and len(selected_indices):
+            new_error[np.asarray(selected_indices, dtype=np.int64)] = 0.0
+        self.error = new_error
+
+    def error_norm(self, ord: int = 2) -> float:
+        """Norm of the stored error (the per-worker term of Eq. 2)."""
+        return float(np.linalg.norm(self.error, ord=ord))
+
+    def reset(self) -> None:
+        """Clear the accumulated error."""
+        self.error[:] = 0.0

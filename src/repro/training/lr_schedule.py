@@ -1,0 +1,69 @@
+"""Learning-rate schedules.
+
+The paper's ResNet experiment uses step decay (the error drop after
+iteration 14,600 in Figure 5a is attributed to learning-rate decay), so the
+schedule abstraction is iteration-based.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["LRSchedule", "ConstantLR", "StepDecayLR", "CosineAnnealingLR"]
+
+
+class LRSchedule:
+    """Maps an iteration index to a learning rate."""
+
+    def lr_at(self, iteration: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, iteration: int) -> float:
+        return self.lr_at(iteration)
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = float(lr)
+
+    def lr_at(self, iteration: int) -> float:
+        return self.lr
+
+
+class StepDecayLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` at each milestone iteration."""
+
+    def __init__(self, lr: float, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.lr = float(lr)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+
+    def lr_at(self, iteration: int) -> float:
+        passed = sum(1 for m in self.milestones if iteration >= m)
+        return self.lr * (self.gamma ** passed)
+
+
+class CosineAnnealingLR(LRSchedule):
+    """Cosine decay from ``lr`` to ``min_lr`` over ``total_iterations``."""
+
+    def __init__(self, lr: float, total_iterations: int, min_lr: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if total_iterations <= 0:
+            raise ValueError("total_iterations must be positive")
+        self.lr = float(lr)
+        self.total_iterations = int(total_iterations)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, iteration: int) -> float:
+        progress = min(max(iteration, 0), self.total_iterations) / self.total_iterations
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))

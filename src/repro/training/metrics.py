@@ -1,0 +1,82 @@
+"""Evaluation metrics used in the paper's figures.
+
+- test accuracy (Figure 3a) for the computer-vision workload,
+- test perplexity (Figures 3b, 8, 10) for the language-modelling workload,
+- hit rate @ 10 (Figure 3c) for the recommendation workload,
+- actual density (Figures 1 and 4),
+- error, the mean per-worker L2 norm of the error-feedback memory
+  (Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "accuracy_from_logits",
+    "perplexity_from_loss",
+    "hit_rate_at_k",
+    "actual_density",
+    "mean_error_norm",
+]
+
+
+def accuracy_from_logits(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy of a logits matrix against integer targets."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    predictions = logits.argmax(axis=-1).reshape(-1)
+    if predictions.shape[0] != targets.shape[0]:
+        raise ValueError("logits and targets disagree on the number of samples")
+    if targets.shape[0] == 0:
+        return 0.0
+    return float((predictions == targets).mean())
+
+
+def perplexity_from_loss(mean_cross_entropy: float, cap: float = 1e4) -> float:
+    """Perplexity ``exp(loss)`` with a cap to keep early-training plots finite."""
+    loss = float(mean_cross_entropy)
+    if loss >= math.log(cap):
+        return float(cap)
+    return float(math.exp(loss))
+
+
+def hit_rate_at_k(rankings: Iterable[Sequence[int]], positives: Iterable[int], k: int = 10) -> float:
+    """Fraction of users whose held-out positive item ranks in the top ``k``.
+
+    Parameters
+    ----------
+    rankings:
+        For each user, item ids ordered from the highest to the lowest score.
+    positives:
+        For each user, the held-out positive item id.
+    k:
+        Cut-off rank.
+    """
+    hits = 0
+    total = 0
+    for ranked, positive in zip(rankings, positives):
+        total += 1
+        if int(positive) in list(ranked[:k]):
+            hits += 1
+    if total == 0:
+        return 0.0
+    return float(hits / total)
+
+
+def actual_density(n_selected_global: int, n_gradients: int) -> float:
+    """Measured density: globally selected indices over total gradients."""
+    if n_gradients <= 0:
+        raise ValueError("n_gradients must be positive")
+    return float(n_selected_global) / float(n_gradients)
+
+
+def mean_error_norm(error_norms: Sequence[float]) -> float:
+    """Average of per-worker error norms (Eq. 2 of the paper)."""
+    norms = list(float(x) for x in error_norms)
+    if not norms:
+        return 0.0
+    return float(sum(norms) / len(norms))

@@ -1,0 +1,251 @@
+"""Workload adapters (Table 2 of the paper).
+
+A :class:`Task` bundles everything the generic
+:class:`~repro.training.trainer.DistributedTrainer` needs to know about one
+application: how to build the model, which dataset to shard across workers,
+how to compute the training loss on a mini-batch, and how to evaluate the
+figure-of-merit the paper plots (accuracy, perplexity, or hit-rate@10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.data.synthetic_images import SyntheticImageDataset, make_image_classification
+from repro.data.synthetic_ratings import SyntheticRatingsDataset, make_implicit_feedback
+from repro.data.synthetic_text import SyntheticTextCorpus, make_language_modeling
+from repro.models.lstm_lm import LSTMLanguageModel
+from repro.models.ncf import NeuralCollaborativeFiltering
+from repro.models.resnet import resnet_cifar
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+from repro.training.metrics import accuracy_from_logits, hit_rate_at_k, perplexity_from_loss
+
+__all__ = ["Task", "ImageClassificationTask", "LanguageModelingTask", "RecommendationTask"]
+
+
+class Task:
+    """Interface between the trainer and one DNN application."""
+
+    #: Short name used in logs and experiment tables.
+    name: str = "task"
+    #: Name of the headline evaluation metric (e.g. "accuracy").
+    metric_name: str = "metric"
+    #: True when a *larger* metric value is better (accuracy, hr@10);
+    #: False for perplexity.
+    metric_higher_is_better: bool = True
+
+    def build_model(self, rng: Optional[np.random.Generator] = None) -> Module:
+        """Construct a freshly initialised model."""
+        raise NotImplementedError
+
+    def train_dataset(self) -> Dataset:
+        """The full training dataset (the trainer shards it per worker)."""
+        raise NotImplementedError
+
+    def compute_loss(self, model: Module, batch: Tuple[np.ndarray, ...]) -> Tensor:
+        """Compute the scalar training loss on one mini-batch."""
+        raise NotImplementedError
+
+    def evaluate(self, model: Module) -> Dict[str, float]:
+        """Evaluate the model on the held-out data."""
+        raise NotImplementedError
+
+
+class ImageClassificationTask(Task):
+    """Residual CNN on synthetic images (the ResNet-18 / CIFAR-10 analogue)."""
+
+    name = "image_classification"
+    metric_name = "accuracy"
+    metric_higher_is_better = True
+
+    def __init__(
+        self,
+        n_train: int = 512,
+        n_test: int = 128,
+        num_classes: int = 10,
+        image_size: int = 16,
+        model_scale: str = "tiny",
+        eval_batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.seed = int(seed)
+        self.model_scale = model_scale
+        self.image_size = int(image_size)
+        self.num_classes = int(num_classes)
+        self.eval_batch_size = int(eval_batch_size)
+        self.train_data, self.test_data = make_image_classification(
+            n_train=n_train,
+            n_test=n_test,
+            num_classes=num_classes,
+            image_size=image_size,
+            seed=seed,
+        )
+
+    def build_model(self, rng: Optional[np.random.Generator] = None) -> Module:
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        return resnet_cifar(
+            num_classes=self.num_classes,
+            scale=self.model_scale,
+            rng=rng,
+            image_size=self.image_size,
+        )
+
+    def train_dataset(self) -> Dataset:
+        return self.train_data
+
+    def compute_loss(self, model: Module, batch: Tuple[np.ndarray, ...]) -> Tensor:
+        images, labels = batch
+        logits = model(Tensor(images.astype(np.float32)))
+        return F.cross_entropy(logits, labels)
+
+    def evaluate(self, model: Module) -> Dict[str, float]:
+        model.eval()
+        correct_logits = []
+        all_labels = []
+        loader = DataLoader(self.test_data, batch_size=self.eval_batch_size, shuffle=False)
+        with no_grad():
+            for images, labels in loader:
+                logits = model(Tensor(images.astype(np.float32)))
+                correct_logits.append(logits.data)
+                all_labels.append(labels)
+        model.train()
+        logits = np.concatenate(correct_logits, axis=0)
+        labels = np.concatenate(all_labels, axis=0)
+        return {"accuracy": accuracy_from_logits(logits, labels)}
+
+
+class LanguageModelingTask(Task):
+    """LSTM language model on the synthetic corpus (WikiText-2 analogue)."""
+
+    name = "language_modeling"
+    metric_name = "perplexity"
+    metric_higher_is_better = False
+
+    def __init__(
+        self,
+        vocab_size: int = 200,
+        train_tokens: int = 16000,
+        test_tokens: int = 3200,
+        seq_len: int = 16,
+        embed_dim: int = 32,
+        hidden_dim: int = 64,
+        num_layers: int = 1,
+        eval_batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.seed = int(seed)
+        self.embed_dim = int(embed_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.num_layers = int(num_layers)
+        self.eval_batch_size = int(eval_batch_size)
+        self.train_data, self.test_data = make_language_modeling(
+            vocab_size=vocab_size,
+            train_tokens=train_tokens,
+            test_tokens=test_tokens,
+            seq_len=seq_len,
+            seed=seed,
+        )
+
+    @property
+    def vocab_size(self) -> int:
+        return self.train_data.vocab_size
+
+    def build_model(self, rng: Optional[np.random.Generator] = None) -> Module:
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        return LSTMLanguageModel(
+            vocab_size=self.vocab_size,
+            embed_dim=self.embed_dim,
+            hidden_dim=self.hidden_dim,
+            num_layers=self.num_layers,
+            rng=rng,
+        )
+
+    def train_dataset(self) -> Dataset:
+        return self.train_data
+
+    def compute_loss(self, model: Module, batch: Tuple[np.ndarray, ...]) -> Tensor:
+        inputs, targets = batch
+        logits, _ = model(inputs)
+        return F.cross_entropy(logits, targets.reshape(-1))
+
+    def evaluate(self, model: Module) -> Dict[str, float]:
+        model.eval()
+        losses = []
+        weights = []
+        loader = DataLoader(self.test_data, batch_size=self.eval_batch_size, shuffle=False)
+        with no_grad():
+            for inputs, targets in loader:
+                logits, _ = model(inputs)
+                loss = F.cross_entropy(logits, targets.reshape(-1))
+                losses.append(loss.item())
+                weights.append(targets.size)
+        model.train()
+        mean_loss = float(np.average(losses, weights=weights)) if losses else 0.0
+        return {"perplexity": perplexity_from_loss(mean_loss), "cross_entropy": mean_loss}
+
+
+class RecommendationTask(Task):
+    """Neural collaborative filtering on synthetic implicit feedback."""
+
+    name = "recommendation"
+    metric_name = "hr@10"
+    metric_higher_is_better = True
+
+    def __init__(
+        self,
+        num_users: int = 128,
+        num_items: int = 256,
+        interactions_per_user: int = 16,
+        gmf_dim: int = 16,
+        mlp_dims: Sequence[int] = (64, 32, 16),
+        eval_users: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.seed = int(seed)
+        self.gmf_dim = int(gmf_dim)
+        self.mlp_dims = tuple(int(d) for d in mlp_dims)
+        self.dataset: SyntheticRatingsDataset = make_implicit_feedback(
+            num_users=num_users,
+            num_items=num_items,
+            interactions_per_user=interactions_per_user,
+            seed=seed,
+        )
+        self.eval_users = int(eval_users) if eval_users is not None else num_users
+
+    def build_model(self, rng: Optional[np.random.Generator] = None) -> Module:
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        return NeuralCollaborativeFiltering(
+            num_users=self.dataset.num_users,
+            num_items=self.dataset.num_items,
+            gmf_dim=self.gmf_dim,
+            mlp_dims=self.mlp_dims,
+            rng=rng,
+        )
+
+    def train_dataset(self) -> Dataset:
+        return self.dataset
+
+    def compute_loss(self, model: Module, batch: Tuple[np.ndarray, ...]) -> Tensor:
+        users, items, labels = batch
+        logits = model(users, items)
+        return F.binary_cross_entropy_with_logits(logits, labels.astype(np.float32))
+
+    def evaluate(self, model: Module) -> Dict[str, float]:
+        model.eval()
+        rankings = []
+        positives = []
+        users = list(range(min(self.eval_users, self.dataset.num_users)))
+        for user in users:
+            candidates = self.dataset.eval_candidates[user]
+            scores = model.score_items(user, candidates)
+            order = np.argsort(-scores)
+            rankings.append(candidates[order])
+            positives.append(self.dataset.eval_positives[user])
+        model.train()
+        return {"hr@10": hit_rate_at_k(rankings, positives, k=10)}

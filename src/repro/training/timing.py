@@ -1,0 +1,66 @@
+"""Per-iteration wall-clock breakdown (Figure 7).
+
+The paper decomposes one training iteration into forward propagation,
+backward propagation, gradient selection, communication, and (for DEFT) the
+partitioning overhead.  :class:`IterationTiming` holds one iteration's
+breakdown; :class:`TimingAccumulator` averages many of them.
+
+Because the simulated workers run sequentially in one process, per-phase
+times are recorded *per worker* and reduced with ``max`` (the slowest worker
+determines the iteration latency, exactly as the paper measures it), while
+communication time comes from the alpha-beta model rather than wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List
+
+__all__ = ["IterationTiming", "TimingAccumulator"]
+
+PHASES = ("forward", "backward", "selection", "communication", "partition")
+
+
+@dataclass
+class IterationTiming:
+    """Seconds spent in each phase of one iteration (slowest-worker view)."""
+
+    forward: float = 0.0
+    backward: float = 0.0
+    selection: float = 0.0
+    communication: float = 0.0
+    partition: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward + self.selection + self.communication + self.partition
+
+    def as_dict(self) -> Dict[str, float]:
+        return {phase: getattr(self, phase) for phase in PHASES}
+
+
+@dataclass
+class TimingAccumulator:
+    """Accumulates iteration timings and reports the mean breakdown."""
+
+    timings: List[IterationTiming] = field(default_factory=list)
+
+    def add(self, timing: IterationTiming) -> None:
+        self.timings.append(timing)
+
+    def __len__(self) -> int:
+        return len(self.timings)
+
+    def mean_breakdown(self) -> Dict[str, float]:
+        """Mean seconds per phase across recorded iterations."""
+        if not self.timings:
+            return {phase: 0.0 for phase in PHASES}
+        out: Dict[str, float] = {}
+        for phase in PHASES:
+            out[phase] = float(sum(getattr(t, phase) for t in self.timings) / len(self.timings))
+        return out
+
+    def mean_total(self) -> float:
+        if not self.timings:
+            return 0.0
+        return float(sum(t.total for t in self.timings) / len(self.timings))

@@ -1,0 +1,311 @@
+"""Distributed SGD with error feedback (Algorithm 1 of the paper).
+
+:class:`DistributedTrainer` simulates ``n`` data-parallel workers inside one
+process.  All workers share the model parameters (synchronous data-parallel
+training keeps them bit-identical anyway), but each worker has its own data
+shard, its own mini-batch stream, and its own error-feedback memory, so the
+per-worker accumulators -- and therefore the index sets the sparsifier
+selects -- genuinely differ between workers.  That difference is what
+produces gradient build-up for Top-k and what DEFT's disjoint allocation
+removes.
+
+Per iteration (paper's Algorithm 1):
+
+1. every worker computes its local gradient on its own batch,
+2. ``acc_i = e_i + lr * grad_i``,
+3. the sparsifier's optional ``coordinate`` phase runs (CLT-k leader
+   broadcast, DEFT allocation broadcast),
+4. every worker selects indices from its own ``acc_i``,
+5. the index sets are all-gathered and their union formed,
+6. each worker contributes ``acc_i[union]``; the contributions are
+   all-reduced (sum) and the model is updated with the average,
+7. the transmitted entries of ``acc_i`` are zeroed and the rest becomes
+   ``e_{i,t+1}``.
+
+The trainer records, per iteration: training loss, actual density, error
+norm, selection/partition/communication times (Figure 1, 4, 5, 6, 7 series),
+and per epoch: the task's evaluation metric (Figure 3, 8, 10 series).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.cost_model import AlphaBetaModel
+from repro.comm.simulated import SimulatedBackend
+from repro.data.dataloader import DataLoader
+from repro.data.partition import shard_dataset
+from repro.sparsifiers.base import GradientLayout, Sparsifier
+from repro.training.error_feedback import ErrorFeedbackMemory
+from repro.training.lr_schedule import ConstantLR, LRSchedule
+from repro.training.metrics import actual_density, mean_error_norm
+from repro.training.optimizers import SGD, flatten_gradients
+from repro.training.tasks import Task
+from repro.training.timing import IterationTiming, TimingAccumulator
+from repro.utils.logging import RunLogger
+from repro.utils.seeding import SeedSequenceFactory
+
+__all__ = ["TrainingConfig", "TrainingResult", "DistributedTrainer"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters of one distributed-training run."""
+
+    n_workers: int = 4
+    batch_size: int = 32
+    epochs: int = 2
+    lr: float = 0.1
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    seed: int = 0
+    #: Cap on iterations per epoch (None = full pass over each worker shard).
+    max_iterations_per_epoch: Optional[int] = None
+    #: Evaluate the task metric at the end of every epoch.
+    evaluate_each_epoch: bool = True
+    #: Optional learning-rate schedule overriding the constant ``lr``.
+    lr_schedule: Optional[LRSchedule] = None
+
+    def schedule(self) -> LRSchedule:
+        return self.lr_schedule if self.lr_schedule is not None else ConstantLR(self.lr)
+
+
+@dataclass
+class TrainingResult:
+    """Everything a run produced."""
+
+    logger: RunLogger
+    timing: TimingAccumulator
+    final_metrics: Dict[str, float] = field(default_factory=dict)
+    iterations_run: int = 0
+    epochs_run: int = 0
+
+    def series(self, name: str):
+        return self.logger.series(name)
+
+    def mean_density(self) -> float:
+        return self.logger.series("density").mean()
+
+    def final_metric(self, name: str) -> Optional[float]:
+        return self.final_metrics.get(name)
+
+
+class DistributedTrainer:
+    """Simulated data-parallel trainer implementing Algorithm 1."""
+
+    def __init__(
+        self,
+        task: Task,
+        sparsifier: Sparsifier,
+        config: TrainingConfig,
+        backend: Optional[SimulatedBackend] = None,
+        cost_model: Optional[AlphaBetaModel] = None,
+        run_name: Optional[str] = None,
+    ) -> None:
+        self.task = task
+        self.sparsifier = sparsifier
+        self.config = config
+        self.backend = backend if backend is not None else SimulatedBackend(config.n_workers)
+        if self.backend.n_workers != config.n_workers:
+            raise ValueError("backend worker count does not match the training configuration")
+        self.cost_model = cost_model if cost_model is not None else AlphaBetaModel()
+
+        seeds = SeedSequenceFactory(config.seed)
+        self.model = task.build_model(rng=seeds.rng("model"))
+        self.layout = GradientLayout.from_model(self.model)
+        self.n_gradients = self.layout.total_size
+        self.sparsifier.setup(self.layout, config.n_workers, seed=config.seed)
+
+        self.optimizer = SGD(self.model, momentum=config.momentum, weight_decay=config.weight_decay)
+        self.memories = [ErrorFeedbackMemory(self.n_gradients) for _ in range(config.n_workers)]
+        self.loaders = self._build_loaders(seeds)
+        self.schedule = config.schedule()
+
+        name = run_name or f"{task.name}-{sparsifier.name}-w{config.n_workers}-d{sparsifier.density}"
+        self.logger = RunLogger(run_name=name)
+        self.logger.log_metadata(
+            task=task.name,
+            sparsifier=sparsifier.name,
+            density=sparsifier.density,
+            n_workers=config.n_workers,
+            batch_size=config.batch_size,
+            n_gradients=self.n_gradients,
+            seed=config.seed,
+        )
+        self.timing = TimingAccumulator()
+        self.iteration = 0
+
+    # ------------------------------------------------------------------ #
+    def _build_loaders(self, seeds: SeedSequenceFactory) -> List[DataLoader]:
+        dataset = self.task.train_dataset()
+        loaders = []
+        for rank in range(self.config.n_workers):
+            shard = shard_dataset(dataset, self.config.n_workers, rank, seed=self.config.seed)
+            loaders.append(
+                DataLoader(
+                    shard,
+                    batch_size=self.config.batch_size,
+                    shuffle=True,
+                    rng=seeds.rng("loader", rank),
+                )
+            )
+        return loaders
+
+    # ------------------------------------------------------------------ #
+    def train_iteration(self, batches: Sequence, lr: float) -> Dict[str, float]:
+        """Run one synchronous iteration over all workers; returns metrics."""
+        n_workers = self.config.n_workers
+        forward_backward_times = np.zeros(n_workers)
+        losses = np.zeros(n_workers)
+        accumulators: List[np.ndarray] = []
+
+        # 1-2. Local gradients and error-feedback accumulation.
+        for rank in range(n_workers):
+            start = time.perf_counter()
+            self.model.zero_grad()
+            loss = self.task.compute_loss(self.model, batches[rank])
+            loss.backward()
+            forward_backward_times[rank] = time.perf_counter() - start
+            losses[rank] = loss.item()
+            grad_flat = flatten_gradients(self.model)
+            accumulators.append(self.memories[rank].accumulate(grad_flat, lr))
+        self.model.zero_grad()
+
+        # 3. Optional coordination (CLT-k leader selection, DEFT allocation).
+        comm_records_before = len(self.backend.meter.records)
+        self.sparsifier.coordinate(self.iteration, accumulators, self.backend)
+
+        # 4. Per-worker selection.
+        selection_times = np.zeros(n_workers)
+        partition_times = np.zeros(n_workers)
+        analytic_costs = np.zeros(n_workers)
+        per_worker_indices: List[np.ndarray] = []
+        per_worker_k = np.zeros(n_workers, dtype=np.int64)
+        for rank in range(n_workers):
+            result = self.sparsifier.select(self.iteration, rank, accumulators[rank])
+            per_worker_indices.append(np.asarray(result.indices, dtype=np.int64))
+            per_worker_k[rank] = result.k_selected
+            selection_times[rank] = result.selection_seconds
+            analytic_costs[rank] = result.analytic_cost
+            partition_times[rank] = (
+                result.info.get("partition_seconds", 0.0)
+                + result.info.get("overhead_seconds", 0.0)
+                + result.info.get("coordinate_seconds", 0.0)
+            )
+
+        # 5. All-gather of indices; the union is what every worker must send values for.
+        gathered = self.backend.allgather(per_worker_indices, tag="indices")
+        global_indices = np.unique(gathered[0].astype(np.int64))
+
+        # 6. All-reduce of the selected values, then the model update.
+        contributions = [acc[global_indices] for acc in accumulators]
+        reduced = self.backend.allreduce(contributions, tag="values")
+        mean_contribution = reduced[0] / n_workers
+        update = np.zeros(self.n_gradients, dtype=np.float64)
+        update[global_indices] = mean_contribution
+        self.optimizer.apply_update(update)
+
+        # 7. Error-feedback update.
+        for rank in range(n_workers):
+            self.memories[rank].update(accumulators[rank], global_indices)
+
+        # Modelled communication time from the collectives of this iteration.
+        communication_seconds = self._model_communication(comm_records_before)
+        comm_elements = sum(
+            record.total_sent for record in self.backend.meter.records[comm_records_before:]
+        )
+
+        timing = IterationTiming(
+            forward=float(forward_backward_times.max() * 0.5),
+            backward=float(forward_backward_times.max() * 0.5),
+            selection=float(selection_times.max()),
+            communication=float(communication_seconds),
+            partition=float(partition_times.max()),
+        )
+        self.timing.add(timing)
+
+        density = actual_density(int(global_indices.shape[0]), self.n_gradients)
+        error = mean_error_norm([m.error_norm() for m in self.memories])
+        metrics = {
+            "loss": float(losses.mean()),
+            "density": density,
+            "error": error,
+            "k_global": float(global_indices.shape[0]),
+            "k_local_mean": float(per_worker_k.mean()),
+            "lr": float(lr),
+        }
+
+        self.logger.log_scalar("loss", self.iteration, metrics["loss"])
+        self.logger.log_scalar("density", self.iteration, density)
+        self.logger.log_scalar("error", self.iteration, error)
+        self.logger.log_scalar("k_global", self.iteration, metrics["k_global"])
+        self.logger.log_scalar("selection_seconds", self.iteration, timing.selection)
+        self.logger.log_scalar("selection_cost_analytic", self.iteration, float(analytic_costs.max()))
+        self.logger.log_scalar("communication_seconds", self.iteration, timing.communication)
+        self.logger.log_scalar("communication_elements", self.iteration, float(comm_elements))
+        self.logger.log_scalar("partition_seconds", self.iteration, timing.partition)
+        self.iteration += 1
+        return metrics
+
+    def _model_communication(self, records_before: int) -> float:
+        """Convert this iteration's collective calls into modelled seconds."""
+        n = self.config.n_workers
+        seconds = 0.0
+        for record in self.backend.meter.records[records_before:]:
+            if record.op == "allgather":
+                seconds += self.cost_model.allgather_cost(n, record.max_sent).total
+            elif record.op == "allreduce":
+                payload = record.received_per_rank[0] if record.received_per_rank else 0
+                seconds += self.cost_model.allgather_cost(n, payload).total
+            elif record.op == "broadcast":
+                payload = record.received_per_rank[0] if record.received_per_rank else 0
+                seconds += self.cost_model.broadcast_cost(n, payload).total
+            elif record.op == "gather":
+                seconds += self.cost_model.allgather_cost(n, record.max_sent).total
+        return seconds
+
+    # ------------------------------------------------------------------ #
+    def train_epoch(self, epoch: int) -> Dict[str, float]:
+        """Run one epoch (each worker does one pass over its shard)."""
+        iterators = [iter(loader) for loader in self.loaders]
+        n_iterations = min(len(loader) for loader in self.loaders)
+        if self.config.max_iterations_per_epoch is not None:
+            n_iterations = min(n_iterations, self.config.max_iterations_per_epoch)
+        epoch_metrics: List[Dict[str, float]] = []
+        for _ in range(n_iterations):
+            batches = [next(it) for it in iterators]
+            lr = self.schedule.lr_at(self.iteration)
+            epoch_metrics.append(self.train_iteration(batches, lr))
+        summary = {
+            "loss": float(np.mean([m["loss"] for m in epoch_metrics])) if epoch_metrics else 0.0,
+            "density": float(np.mean([m["density"] for m in epoch_metrics])) if epoch_metrics else 0.0,
+            "error": float(epoch_metrics[-1]["error"]) if epoch_metrics else 0.0,
+        }
+        self.logger.log_scalar("epoch_loss", epoch, summary["loss"])
+        self.logger.log_scalar("epoch_density", epoch, summary["density"])
+        if self.config.evaluate_each_epoch:
+            evaluation = self.task.evaluate(self.model)
+            for key, value in evaluation.items():
+                self.logger.log_scalar(key, epoch, value)
+            summary.update(evaluation)
+        return summary
+
+    def train(self) -> TrainingResult:
+        """Run the configured number of epochs and return the result."""
+        last_summary: Dict[str, float] = {}
+        for epoch in range(self.config.epochs):
+            last_summary = self.train_epoch(epoch)
+        final_metrics = dict(last_summary)
+        if not self.config.evaluate_each_epoch:
+            final_metrics.update(self.task.evaluate(self.model))
+        return TrainingResult(
+            logger=self.logger,
+            timing=self.timing,
+            final_metrics=final_metrics,
+            iterations_run=self.iteration,
+            epochs_run=self.config.epochs,
+        )

@@ -1,0 +1,126 @@
+"""Flattening and unflattening per-layer arrays into one gradient vector.
+
+Gradient sparsifiers in the paper operate on the *flat* gradient vector of
+the whole model (size ``n_g``), while DEFT's partitioning needs to know the
+layer boundaries inside that vector.  :class:`FlatSpec` records those
+boundaries so a collection of per-layer arrays can be flattened into one
+vector and reconstructed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FlatSpec", "flatten_arrays", "unflatten_vector"]
+
+
+@dataclass(frozen=True)
+class FlatSpec:
+    """Layout of a flattened collection of named arrays.
+
+    Attributes
+    ----------
+    names:
+        Layer (parameter) names in flattening order.
+    shapes:
+        Original shape of each array.
+    offsets:
+        Start offset of each array inside the flat vector.
+    sizes:
+        Number of elements of each array.
+    """
+
+    names: Tuple[str, ...]
+    shapes: Tuple[Tuple[int, ...], ...]
+    offsets: Tuple[int, ...]
+    sizes: Tuple[int, ...]
+
+    @property
+    def total_size(self) -> int:
+        """Total number of elements across all arrays (``n_g``)."""
+        return int(sum(self.sizes))
+
+    @property
+    def n_arrays(self) -> int:
+        return len(self.names)
+
+    def slice_of(self, name: str) -> slice:
+        """Return the slice of the flat vector corresponding to ``name``."""
+        try:
+            i = self.names.index(name)
+        except ValueError as exc:
+            raise KeyError(f"unknown array name {name!r}") from exc
+        return slice(self.offsets[i], self.offsets[i] + self.sizes[i])
+
+    def boundaries(self) -> List[Tuple[int, int]]:
+        """Return ``(start, end)`` pairs, one per array, in order."""
+        return [(off, off + size) for off, size in zip(self.offsets, self.sizes)]
+
+    def owner_of(self, flat_index: int) -> str:
+        """Return the array name owning a given flat index."""
+        if flat_index < 0 or flat_index >= self.total_size:
+            raise IndexError(f"flat index {flat_index} out of range")
+        offs = np.asarray(self.offsets)
+        i = int(np.searchsorted(offs, flat_index, side="right") - 1)
+        return self.names[i]
+
+
+def flatten_arrays(
+    named_arrays: Sequence[Tuple[str, np.ndarray]],
+    dtype=np.float64,
+) -> Tuple[np.ndarray, FlatSpec]:
+    """Flatten named arrays into one contiguous vector.
+
+    Parameters
+    ----------
+    named_arrays:
+        Sequence of ``(name, array)`` pairs.  Order is preserved and becomes
+        the layer order used by DEFT's partitioning.
+    dtype:
+        Target dtype of the flat vector.
+
+    Returns
+    -------
+    (flat, spec):
+        The flat vector and the :class:`FlatSpec` needed to reverse the
+        operation.
+    """
+    names: List[str] = []
+    shapes: List[Tuple[int, ...]] = []
+    offsets: List[int] = []
+    sizes: List[int] = []
+    chunks: List[np.ndarray] = []
+    offset = 0
+    for name, arr in named_arrays:
+        a = np.asarray(arr)
+        names.append(str(name))
+        shapes.append(tuple(int(s) for s in a.shape))
+        offsets.append(offset)
+        size = int(a.size)
+        sizes.append(size)
+        offset += size
+        chunks.append(a.reshape(-1).astype(dtype, copy=False))
+    flat = np.concatenate(chunks) if chunks else np.empty(0, dtype=dtype)
+    spec = FlatSpec(
+        names=tuple(names),
+        shapes=tuple(shapes),
+        offsets=tuple(offsets),
+        sizes=tuple(sizes),
+    )
+    return flat, spec
+
+
+def unflatten_vector(flat: np.ndarray, spec: FlatSpec) -> Dict[str, np.ndarray]:
+    """Reconstruct the named arrays from a flat vector and its spec."""
+    flat = np.asarray(flat).reshape(-1)
+    if flat.size != spec.total_size:
+        raise ValueError(
+            f"flat vector has {flat.size} elements, spec expects {spec.total_size}"
+        )
+    out: Dict[str, np.ndarray] = {}
+    for name, shape, offset, size in zip(spec.names, spec.shapes, spec.offsets, spec.sizes):
+        out[name] = flat[offset : offset + size].reshape(shape).copy()
+    return out

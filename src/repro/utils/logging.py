@@ -1,0 +1,127 @@
+"""Minimal structured run logger.
+
+Experiments record scalar series (density per iteration, error per iteration,
+accuracy per epoch, ...) through :class:`RunLogger`; the figure/table builders
+in :mod:`repro.analysis` then read them back.  Keeping this in-memory and
+dependency-free avoids dragging a logging framework into the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["RunLogger", "ScalarSeries"]
+
+
+@dataclass
+class ScalarSeries:
+    """A named series of (step, value) scalar measurements."""
+
+    name: str
+    steps: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, step: int, value: float) -> None:
+        self.steps.append(int(step))
+        self.values.append(float(value))
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return float(sum(self.values) / len(self.values))
+
+    def max(self) -> float:
+        if not self.values:
+            return 0.0
+        return float(max(self.values))
+
+    def min(self) -> float:
+        if not self.values:
+            return 0.0
+        return float(min(self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "steps": self.steps, "values": self.values}
+
+
+class RunLogger:
+    """Collects scalar series and free-form metadata for one experiment run."""
+
+    def __init__(self, run_name: str = "run") -> None:
+        self.run_name = run_name
+        self.metadata: Dict[str, object] = {}
+        self._series: Dict[str, ScalarSeries] = {}
+        self._created = time.time()
+
+    def log_scalar(self, name: str, step: int, value: float) -> None:
+        """Append ``value`` at ``step`` to the series called ``name``."""
+        if name not in self._series:
+            self._series[name] = ScalarSeries(name=name)
+        self._series[name].append(step, value)
+
+    def log_metadata(self, **kwargs) -> None:
+        """Attach free-form metadata to the run (overwrites existing keys)."""
+        self.metadata.update(kwargs)
+
+    def series(self, name: str) -> ScalarSeries:
+        """Return the series called ``name`` (empty series if never logged)."""
+        if name not in self._series:
+            self._series[name] = ScalarSeries(name=name)
+        return self._series[name]
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series and len(self._series[name]) > 0
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    def to_dict(self) -> Dict:
+        return {
+            "run_name": self.run_name,
+            "metadata": self.metadata,
+            "series": {k: v.to_dict() for k, v in self._series.items()},
+        }
+
+    def save_json(self, path) -> Path:
+        """Serialise the run to a JSON file and return its path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RunLogger":
+        logger = cls(run_name=payload.get("run_name", "run"))
+        logger.metadata = dict(payload.get("metadata", {}))
+        for name, sdict in payload.get("series", {}).items():
+            series = ScalarSeries(name=name, steps=list(sdict["steps"]), values=list(sdict["values"]))
+            logger._series[name] = series
+        return logger
+
+    @classmethod
+    def load_json(cls, path) -> "RunLogger":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def merge_series(loggers: List[RunLogger], name: str) -> Dict[str, ScalarSeries]:
+    """Collect the same-named series from several runs, keyed by run name."""
+    out: Dict[str, ScalarSeries] = {}
+    grouped = defaultdict(int)
+    for logger in loggers:
+        key = logger.run_name
+        if key in out:
+            grouped[key] += 1
+            key = f"{key}#{grouped[key]}"
+        out[key] = logger.series(name)
+    return out

@@ -1,0 +1,71 @@
+"""Tests for convergence-rate summaries."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    ConvergenceSummary,
+    compare_convergence,
+    epochs_to_reach,
+    summarize_convergence,
+)
+from repro.training.timing import TimingAccumulator
+from repro.training.trainer import TrainingResult
+from repro.utils.logging import RunLogger
+
+
+def make_result(metric, values):
+    logger = RunLogger("fake")
+    for epoch, value in enumerate(values):
+        logger.log_scalar(metric, epoch, value)
+    return TrainingResult(logger=logger, timing=TimingAccumulator(), final_metrics={metric: values[-1]})
+
+
+class TestEpochsToReach:
+    def test_higher_is_better(self):
+        assert epochs_to_reach([0.1, 0.4, 0.8], target=0.5, higher_is_better=True) == 2
+
+    def test_lower_is_better(self):
+        assert epochs_to_reach([100, 40, 20], target=50, higher_is_better=False) == 1
+
+    def test_never_reached(self):
+        assert epochs_to_reach([0.1, 0.2], target=0.9, higher_is_better=True) is None
+
+
+class TestSummarize:
+    def test_accuracy_style(self):
+        result = make_result("accuracy", [0.2, 0.6, 0.5])
+        summary = summarize_convergence(result, "accuracy", higher_is_better=True)
+        assert summary.best == 0.6
+        assert summary.best_epoch == 1
+        assert summary.final == 0.5
+        assert summary.epochs == 3
+        assert summary.reached(0.55)
+        assert not summary.reached(0.7)
+
+    def test_perplexity_style(self):
+        result = make_result("perplexity", [120.0, 60.0, 70.0])
+        summary = summarize_convergence(result, "perplexity", higher_is_better=False)
+        assert summary.best == 60.0
+        assert summary.best_epoch == 1
+        assert summary.reached(65.0)
+
+    def test_missing_series_raises(self):
+        result = make_result("accuracy", [0.1])
+        with pytest.raises(ValueError):
+            summarize_convergence(result, "perplexity", higher_is_better=False)
+
+
+class TestCompare:
+    def test_rows_per_run(self):
+        results = {
+            "deft": make_result("accuracy", [0.2, 0.5, 0.7]),
+            "topk": make_result("accuracy", [0.3, 0.6, 0.65]),
+        }
+        rows = compare_convergence(results, "accuracy", higher_is_better=True, target=0.6)
+        assert rows["deft"]["best"] == 0.7
+        assert rows["deft"]["epochs_to_target"] == 2
+        assert rows["topk"]["epochs_to_target"] == 1
+
+    def test_without_target(self):
+        rows = compare_convergence({"a": make_result("accuracy", [0.5])}, "accuracy", True)
+        assert "epochs_to_target" not in rows["a"]

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_prints_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "deft" in out
+        assert "fig09" in out
+        assert "Computer vision" in out
+
+
+class TestTrain:
+    def test_train_smoke(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--sparsifier", "deft", "--density", "0.05",
+            "--workers", "2", "--epochs", "1", "--scale", "smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean actual density" in out
+        assert "final perplexity" in out
+
+    def test_invalid_sparsifier_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--sparsifier", "nonexistent"])
+
+
+class TestExperiment:
+    def test_experiment_registry_covers_all_figures_and_tables(self):
+        assert set(EXPERIMENTS) == {
+            "fig01", "table1", "table2", "fig03", "fig04", "fig05",
+            "fig06", "fig07", "fig08", "fig09", "fig10",
+        }
+
+    def test_experiment_fig09(self, capsys):
+        assert main(["experiment", "fig09", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "workers" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2", "--scale", "smoke"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestNoCommand:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()

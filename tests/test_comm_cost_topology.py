@@ -1,0 +1,128 @@
+"""Tests for the alpha-beta cost model and topology helpers."""
+
+import math
+
+import pytest
+
+from repro.comm.cost_model import AlphaBetaModel, CommunicationCost
+from repro.comm.topology import (
+    ClusterTopology,
+    fat_node_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+
+
+class TestCommunicationCost:
+    def test_total_and_addition(self):
+        a = CommunicationCost(1.0, 2.0)
+        b = CommunicationCost(0.5, 0.25)
+        combined = a + b
+        assert combined.total == pytest.approx(3.75)
+        assert combined.latency == pytest.approx(1.5)
+
+
+class TestAlphaBetaModel:
+    def test_allgather_matches_paper_formula(self):
+        model = AlphaBetaModel(alpha=1e-5, beta=1e-9)
+        n, k = 16, 1000
+        cost = model.allgather_cost(n, k)
+        assert cost.latency == pytest.approx(math.log2(n) * 1e-5)
+        assert cost.bandwidth == pytest.approx(2 * (n - 1) * k * 1e-9)
+
+    def test_single_worker_costs_nothing(self):
+        model = AlphaBetaModel()
+        assert model.allgather_cost(1, 1000).total == 0.0
+        assert model.allreduce_cost(1, 1000).total == 0.0
+        assert model.broadcast_cost(1, 1000).total == 0.0
+
+    def test_allgather_cost_grows_with_payload(self):
+        model = AlphaBetaModel()
+        assert model.allgather_cost(8, 10_000).total > model.allgather_cost(8, 100).total
+
+    def test_allgather_cost_grows_with_workers(self):
+        model = AlphaBetaModel()
+        assert model.allgather_cost(32, 1000).total > model.allgather_cost(4, 1000).total
+
+    def test_buildup_makes_topk_more_expensive_than_deft(self):
+        """With the same configured k, Top-k's build-up (union ~ w*k values to
+        reduce) costs more than DEFT's fixed k -- the Section 5.3 argument."""
+        model = AlphaBetaModel()
+        n, k = 16, 5000
+        deft_cost = model.allgather_cost(n, k).total
+        topk_cost = model.allgather_cost(n, 10 * k).total  # ~10x build-up
+        assert topk_cost > deft_cost
+
+    def test_ring_allreduce_formula(self):
+        model = AlphaBetaModel(alpha=1e-5, beta=1e-9)
+        cost = model.allreduce_cost(8, 1_000_000)
+        assert cost.latency == pytest.approx(2 * 3 * 1e-5)
+        assert cost.bandwidth == pytest.approx(2 * 7 / 8 * 1_000_000 * 1e-9)
+
+    def test_broadcast_formula(self):
+        model = AlphaBetaModel(alpha=2e-5, beta=1e-9)
+        cost = model.broadcast_cost(16, 100)
+        assert cost.latency == pytest.approx(4 * 2e-5)
+        assert cost.bandwidth == pytest.approx(4 * 100 * 1e-9)
+
+    def test_sparsifier_step_cost_components(self):
+        model = AlphaBetaModel()
+        parts = model.sparsifier_step_cost(8, 100, 500, allocation_payload=20)
+        assert set(parts) == {"allgather_indices", "allreduce_values", "broadcast_allocation"}
+        assert model.total_step_cost(8, 100, 500, 20) == pytest.approx(
+            sum(c.total for c in parts.values())
+        )
+
+    def test_dense_allreduce_is_most_expensive_for_small_k(self):
+        model = AlphaBetaModel()
+        n, n_g = 16, 1_000_000
+        k = int(0.01 * n_g)
+        sparse = model.total_step_cost(n, k, k)
+        dense = model.dense_allreduce_step_cost(n, n_g)
+        assert dense > sparse
+
+
+class TestTopologies:
+    def test_ring_diameter(self):
+        assert ring_topology(8).diameter_hops() == 4
+        assert ring_topology(2).diameter_hops() == 1
+        assert ring_topology(1).diameter_hops() == 0
+
+    def test_star_diameter_is_two(self):
+        assert star_topology(8).diameter_hops() == 2
+        assert star_topology(1).n_workers == 1
+
+    def test_tree_depth_grows_logarithmically(self):
+        shallow = tree_topology(4).diameter_hops()
+        deep = tree_topology(64).diameter_hops()
+        assert deep > shallow
+        assert deep <= 2 * math.ceil(math.log2(64)) + 1
+
+    def test_all_topologies_have_requested_size(self):
+        for builder in (ring_topology, star_topology, tree_topology):
+            assert builder(10).n_workers == 10
+
+    def test_fat_node_topology(self):
+        topo = fat_node_topology(4, 4)
+        assert topo.n_workers == 16
+        # Intra-node workers are directly connected.
+        assert topo.path_hops(0, 3) == 1
+        # Inter-node leaders form a ring.
+        assert topo.path_hops(0, 4) <= 2
+
+    def test_latency_scale_at_least_one(self):
+        assert ring_topology(1).latency_scale() >= 1.0
+
+    def test_average_hops_positive(self):
+        assert ring_topology(6).average_hops() > 1.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ring_topology(0)
+        with pytest.raises(ValueError):
+            fat_node_topology(0, 4)
+
+    def test_edges_listed(self):
+        topo = star_topology(4)
+        assert len(topo.edges()) == 3

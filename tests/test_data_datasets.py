@@ -1,0 +1,135 @@
+"""Tests for dataset abstractions, loaders and sharding."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    shard_dataset,
+    shard_indices,
+)
+from repro.data.dataset import SubsetDataset
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        ds = ArrayDataset(np.arange(10), np.arange(10) * 2)
+        assert len(ds) == 10
+        assert ds[3] == (3, 6)
+
+    def test_single_array_getitem_unwraps(self):
+        ds = ArrayDataset(np.arange(5))
+        assert ds[2] == 2
+
+    def test_inconsistent_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(3), np.arange(4))
+
+    def test_empty_constructor_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset()
+
+    def test_batch_gathers_rows(self):
+        ds = ArrayDataset(np.arange(10), np.arange(10) * 10)
+        xs, ys = ds.batch([1, 4])
+        np.testing.assert_array_equal(xs, [1, 4])
+        np.testing.assert_array_equal(ys, [10, 40])
+
+    def test_subset_view(self):
+        ds = ArrayDataset(np.arange(10))
+        sub = ds.subset([2, 5, 7])
+        assert len(sub) == 3
+        assert sub[1] == 5
+
+    def test_subset_batch(self):
+        ds = ArrayDataset(np.arange(10), np.arange(10) + 100)
+        sub = ds.subset([9, 0, 3])
+        xs, ys = sub.batch([0, 2])
+        np.testing.assert_array_equal(xs, [9, 3])
+        np.testing.assert_array_equal(ys, [109, 103])
+
+    def test_subset_of_subset(self):
+        ds = ArrayDataset(np.arange(10))
+        sub = ds.subset([5, 6, 7, 8]).subset([0, 3])
+        assert isinstance(sub, SubsetDataset)
+        assert [sub[i] for i in range(len(sub))] == [5, 8]
+
+
+class TestDataLoader:
+    def test_number_of_batches(self):
+        ds = ArrayDataset(np.arange(10))
+        assert len(DataLoader(ds, batch_size=3)) == 4
+        assert len(DataLoader(ds, batch_size=3, drop_last=True)) == 3
+
+    def test_batch_shapes(self):
+        ds = ArrayDataset(np.zeros((10, 4)), np.zeros(10))
+        batches = list(DataLoader(ds, batch_size=4))
+        assert batches[0][0].shape == (4, 4)
+        assert batches[-1][0].shape == (2, 4)
+
+    def test_drop_last(self):
+        ds = ArrayDataset(np.arange(10))
+        batches = list(DataLoader(ds, batch_size=4, drop_last=True))
+        assert len(batches) == 2
+        assert all(b[0].shape[0] == 4 for b in batches)
+
+    def test_covers_all_samples_without_shuffle(self):
+        ds = ArrayDataset(np.arange(10))
+        seen = np.concatenate([b[0] for b in DataLoader(ds, batch_size=3)])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_shuffle_reproducible_with_rng(self):
+        ds = ArrayDataset(np.arange(20))
+        a = np.concatenate([b[0] for b in DataLoader(ds, batch_size=5, shuffle=True, rng=np.random.default_rng(3))])
+        b = np.concatenate([b[0] for b in DataLoader(ds, batch_size=5, shuffle=True, rng=np.random.default_rng(3))])
+        np.testing.assert_array_equal(a, b)
+
+    def test_shuffle_changes_order(self):
+        ds = ArrayDataset(np.arange(50))
+        ordered = np.concatenate([b[0] for b in DataLoader(ds, batch_size=50)])
+        shuffled = np.concatenate([b[0] for b in DataLoader(ds, batch_size=50, shuffle=True, rng=np.random.default_rng(0))])
+        assert not np.array_equal(ordered, shuffled)
+        np.testing.assert_array_equal(np.sort(shuffled), ordered)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(np.arange(3)), batch_size=0)
+
+
+class TestSharding:
+    def test_shards_partition_the_dataset(self):
+        shards = shard_indices(23, 4, seed=1)
+        combined = np.sort(np.concatenate(shards))
+        np.testing.assert_array_equal(combined, np.arange(23))
+
+    def test_shards_are_nearly_equal(self):
+        shards = shard_indices(23, 4, seed=1)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_rank_request(self):
+        all_shards = shard_indices(20, 4, seed=2)
+        rank2 = shard_indices(20, 4, rank=2, seed=2)
+        np.testing.assert_array_equal(rank2, all_shards[2])
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            shard_indices(10, 4, rank=4)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            shard_indices(10, 0)
+
+    def test_no_shuffle_gives_strided_shards(self):
+        shards = shard_indices(8, 2, shuffle=False)
+        np.testing.assert_array_equal(shards[0], [0, 2, 4, 6])
+        np.testing.assert_array_equal(shards[1], [1, 3, 5, 7])
+
+    def test_shard_dataset_returns_disjoint_views(self):
+        ds = ArrayDataset(np.arange(30))
+        shard_a = shard_dataset(ds, 3, 0, seed=5)
+        shard_b = shard_dataset(ds, 3, 1, seed=5)
+        values_a = {shard_a[i] for i in range(len(shard_a))}
+        values_b = {shard_b[i] for i in range(len(shard_b))}
+        assert values_a.isdisjoint(values_b)

@@ -1,0 +1,134 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_images import SyntheticImageConfig, SyntheticImageDataset, make_image_classification
+from repro.data.synthetic_ratings import make_implicit_feedback
+from repro.data.synthetic_text import SyntheticTextConfig, SyntheticTextCorpus, make_language_modeling
+
+
+class TestSyntheticImages:
+    def test_shapes_and_dtypes(self):
+        train, test = make_image_classification(n_train=64, n_test=16, image_size=8, seed=0)
+        assert train.images.shape == (64, 3, 8, 8)
+        assert train.images.dtype == np.float32
+        assert train.labels.shape == (64,)
+        assert train.labels.dtype == np.int64
+        assert len(test) == 16
+
+    def test_labels_in_range(self):
+        train, _ = make_image_classification(n_train=64, num_classes=7, seed=0)
+        assert train.labels.min() >= 0 and train.labels.max() < 7
+
+    def test_reproducible(self):
+        a, _ = make_image_classification(n_train=32, seed=3)
+        b, _ = make_image_classification(n_train=32, seed=3)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_train_and_test_differ(self):
+        train, test = make_image_classification(n_train=32, n_test=32, seed=3)
+        assert not np.array_equal(train.images[:32], test.images)
+
+    def test_classes_are_separable_from_prototypes(self):
+        """A nearest-prototype classifier should beat chance by a wide margin
+        -- otherwise convergence comparisons between sparsifiers would be
+        meaningless noise."""
+        train, _ = make_image_classification(n_train=256, num_classes=5, image_size=8, noise_std=0.5, seed=0)
+        prototypes = train.prototypes.reshape(5, -1)
+        flat = train.images.reshape(len(train), -1)
+        distances = ((flat[:, None, :] - prototypes[None, :, :]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        accuracy = (predictions == train.labels).mean()
+        assert accuracy > 0.6
+
+    def test_num_classes_property(self):
+        dataset = SyntheticImageDataset(SyntheticImageConfig(n_train=16, num_classes=3), train=True)
+        assert dataset.num_classes == 3
+
+
+class TestSyntheticText:
+    def test_shapes(self):
+        train, test = make_language_modeling(vocab_size=50, train_tokens=1000, test_tokens=300, seq_len=10, seed=0)
+        assert train.inputs.shape[1] == 10
+        assert train.targets.shape == train.inputs.shape
+        assert len(test) > 0
+
+    def test_targets_are_shifted_inputs(self):
+        train, _ = make_language_modeling(vocab_size=50, train_tokens=500, seq_len=5, seed=1)
+        # Within a sequence, target[t] must equal input[t+1].
+        np.testing.assert_array_equal(train.inputs[0, 1:], train.targets[0, :-1])
+
+    def test_tokens_within_vocab(self):
+        train, _ = make_language_modeling(vocab_size=37, train_tokens=500, seed=2)
+        assert train.inputs.max() < 37 and train.inputs.min() >= 0
+
+    def test_reproducible(self):
+        a, _ = make_language_modeling(train_tokens=500, seed=5)
+        b, _ = make_language_modeling(train_tokens=500, seed=5)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_unigram_distribution_is_heavy_tailed(self):
+        """Zipfian stationary distribution: the most frequent token should be
+        much more frequent than the median token."""
+        train, _ = make_language_modeling(vocab_size=100, train_tokens=20000, seed=0)
+        counts = np.bincount(train.inputs.reshape(-1), minlength=100)
+        counts = np.sort(counts)[::-1]
+        assert counts[0] > 5 * max(counts[50], 1)
+
+    def test_transition_matrix_is_row_stochastic(self):
+        corpus = SyntheticTextCorpus(SyntheticTextConfig(vocab_size=30, train_tokens=300, seed=0), train=True)
+        np.testing.assert_allclose(corpus.transition_matrix.sum(axis=1), np.ones(30), atol=1e-9)
+
+    def test_markov_structure_is_learnable(self):
+        """The bigram predictability must beat the unigram baseline, otherwise
+        an LSTM could not reduce perplexity below the unigram entropy."""
+        train, _ = make_language_modeling(vocab_size=40, train_tokens=20000, seed=0)
+        stream = np.concatenate([train.inputs.reshape(-1)[:1], train.targets.reshape(-1)])
+        pairs = np.stack([stream[:-1], stream[1:]], axis=1)
+        bigram = np.zeros((40, 40))
+        np.add.at(bigram, (pairs[:, 0], pairs[:, 1]), 1)
+        unigram = bigram.sum(axis=0)
+        unigram_acc = unigram.max() / unigram.sum()
+        bigram_acc = bigram.max(axis=1).sum() / bigram.sum()
+        assert bigram_acc > unigram_acc + 0.05
+
+
+class TestSyntheticRatings:
+    def test_triples_have_consistent_shapes(self):
+        ds = make_implicit_feedback(num_users=20, num_items=40, interactions_per_user=6, seed=0)
+        assert ds.users.shape == ds.items.shape == ds.labels.shape
+        assert set(np.unique(ds.labels)) <= {0.0, 1.0}
+
+    def test_negative_sampling_ratio(self):
+        ds = make_implicit_feedback(num_users=10, num_items=50, interactions_per_user=6, negatives_per_positive=4, seed=0)
+        positives = (ds.labels == 1).sum()
+        negatives = (ds.labels == 0).sum()
+        assert negatives == 4 * positives
+
+    def test_eval_candidates_contain_held_out_positive(self):
+        ds = make_implicit_feedback(num_users=15, num_items=40, seed=1)
+        for user in range(15):
+            assert ds.eval_positives[user] in ds.eval_candidates[user]
+
+    def test_eval_candidates_have_expected_size(self):
+        ds = make_implicit_feedback(num_users=10, num_items=200, seed=1)
+        assert len(ds.eval_candidates[0]) == 100  # 1 positive + 99 negatives
+
+    def test_indices_in_range(self):
+        ds = make_implicit_feedback(num_users=12, num_items=33, seed=2)
+        assert ds.users.max() < 12 and ds.items.max() < 33
+
+    def test_held_out_positive_not_in_training_triples(self):
+        ds = make_implicit_feedback(num_users=10, num_items=60, seed=3)
+        for user in range(10):
+            positive = ds.eval_positives[user]
+            mask = (ds.users == user) & (ds.items == positive) & (ds.labels == 1)
+            assert mask.sum() == 0
+
+    def test_reproducible(self):
+        a = make_implicit_feedback(num_users=8, num_items=20, seed=4)
+        b = make_implicit_feedback(num_users=8, num_items=20, seed=4)
+        np.testing.assert_array_equal(a.users, b.users)
+        np.testing.assert_array_equal(a.items, b.items)

@@ -1,0 +1,93 @@
+"""Tests for Algorithm 5: layer-wise gradient selection."""
+
+import numpy as np
+import pytest
+
+from repro.sparsifiers.base import GradientLayout
+from repro.sparsifiers.deft.k_assignment import assign_local_k, layer_norms
+from repro.sparsifiers.deft.partitioning import two_stage_partition
+from repro.sparsifiers.deft.selection import layerwise_select
+from repro.utils.topk_ops import topk_indices
+
+
+def make_problem(sizes, seed=0, n_workers=1):
+    layout = GradientLayout.from_named_shapes([(f"l{i}", (s,)) for i, s in enumerate(sizes)])
+    partitions = two_stage_partition(layout, n_workers)
+    flat = np.random.default_rng(seed).standard_normal(layout.total_size)
+    return layout, partitions, flat
+
+
+class TestLayerwiseSelect:
+    def test_indices_fall_inside_allocated_partitions(self):
+        _, partitions, flat = make_problem([30, 40, 50])
+        ks = [3, 4, 5]
+        indices, _, _ = layerwise_select(flat, partitions, ks, allocated=[1])
+        assert ((indices >= partitions[1].start) & (indices < partitions[1].end)).all()
+
+    def test_selects_top_k_within_each_partition(self):
+        _, partitions, flat = make_problem([30, 40])
+        ks = [5, 7]
+        indices, _, _ = layerwise_select(flat, partitions, ks, allocated=[0, 1])
+        for part, k in zip(partitions, ks):
+            segment = flat[part.start : part.end]
+            expected = set((topk_indices(segment, k) + part.start).tolist())
+            selected_here = set(i for i in indices.tolist() if part.start <= i < part.end)
+            assert selected_here == expected
+
+    def test_k_target_sums_allocated_ks(self):
+        _, partitions, flat = make_problem([30, 40, 50])
+        ks = [3, 4, 5]
+        _, k_target, _ = layerwise_select(flat, partitions, ks, allocated=[0, 2])
+        assert k_target == 8
+
+    def test_zero_k_partitions_skipped(self):
+        _, partitions, flat = make_problem([30, 40])
+        indices, k_target, cost = layerwise_select(flat, partitions, [0, 4], allocated=[0, 1])
+        assert k_target == 4
+        assert ((indices >= partitions[1].start) & (indices < partitions[1].end)).all()
+
+    def test_empty_allocation_returns_empty(self):
+        _, partitions, flat = make_problem([30])
+        indices, k_target, cost = layerwise_select(flat, partitions, [5], allocated=[])
+        assert indices.size == 0
+        assert k_target == 0
+        assert cost == 0.0
+
+    def test_analytic_cost_matches_formula(self):
+        _, partitions, flat = make_problem([64, 128])
+        ks = [8, 4]
+        _, _, cost = layerwise_select(flat, partitions, ks, allocated=[0, 1])
+        expected = 64 * np.log2(8) + 128 * np.log2(4)
+        assert cost == pytest.approx(expected)
+
+    def test_k_capped_by_partition_size(self):
+        _, partitions, flat = make_problem([10])
+        indices, k_target, _ = layerwise_select(flat, partitions, [99], allocated=[0])
+        assert indices.size == 10
+        assert k_target == 10
+
+    def test_no_duplicate_indices(self):
+        _, partitions, flat = make_problem([30, 40, 50], n_workers=2)
+        ks = [2] * len(partitions)
+        indices, _, _ = layerwise_select(flat, partitions, ks, allocated=list(range(len(partitions))))
+        assert np.unique(indices).size == indices.size
+
+
+class TestDisjointnessAcrossWorkers:
+    def test_union_over_workers_is_disjoint(self):
+        """The core no-build-up property: with an allocation that partitions
+        the layer set, workers' selections never overlap."""
+        _, partitions, flat = make_problem([100, 200, 50, 75, 30], seed=3, n_workers=3)
+        norms = layer_norms(flat, partitions)
+        ks = assign_local_k(partitions, norms, 40)
+        # Simple 3-way split of the partition indices.
+        allocation = [list(range(0, len(partitions), 3)), list(range(1, len(partitions), 3)), list(range(2, len(partitions), 3))]
+        all_indices = []
+        for rank in range(3):
+            # Each worker sees a *different* accumulator (different noise)
+            # but selects only inside its own partitions.
+            worker_flat = flat + 0.01 * np.random.default_rng(rank).standard_normal(flat.size)
+            idx, _, _ = layerwise_select(worker_flat, partitions, ks, allocation[rank])
+            all_indices.append(idx)
+        union = np.concatenate(all_indices)
+        assert np.unique(union).size == union.size

@@ -1,0 +1,197 @@
+"""Tests for the end-to-end DEFTSparsifier (orchestration of Algorithms 2-5)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimulatedBackend
+from repro.sparsifiers import DEFTSparsifier
+from repro.sparsifiers.deft.allocation import AllocationPolicy
+
+
+def make_accs(layout, n_workers, seed=0, scale=0.05):
+    """Per-worker accumulators: shared signal plus small worker-specific noise
+    (workers share model state, so their gradients are similar but not equal)."""
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal(layout.total_size)
+    for i, (offset, size) in enumerate(zip(layout.offsets, layout.sizes)):
+        base[offset : offset + size] *= (i + 1) * 0.4
+    accs = []
+    for rank in range(n_workers):
+        noise = np.random.default_rng(seed + 100 + rank).standard_normal(layout.total_size)
+        accs.append(base + scale * noise)
+    return accs
+
+
+class TestSetup:
+    def test_partitions_created_on_setup(self, small_layout):
+        sparsifier = DEFTSparsifier(0.05)
+        sparsifier.setup(small_layout, 4)
+        assert len(sparsifier.partitions) >= small_layout.n_layers
+        assert sum(p.size for p in sparsifier.partitions) == small_layout.total_size
+
+    def test_single_stage_ablation_has_one_partition_per_layer(self, small_layout):
+        sparsifier = DEFTSparsifier(0.05, two_stage=False)
+        sparsifier.setup(small_layout, 8)
+        assert len(sparsifier.partitions) == small_layout.n_layers
+
+    def test_delegate_cycles(self, small_layout):
+        sparsifier = DEFTSparsifier(0.05)
+        sparsifier.setup(small_layout, 4)
+        assert [sparsifier.delegate_of(i) for i in range(5)] == [0, 1, 2, 3, 0]
+
+
+class TestSelection:
+    def test_workers_select_disjoint_indices(self, small_layout):
+        n_workers = 4
+        sparsifier = DEFTSparsifier(0.1)
+        sparsifier.setup(small_layout, n_workers)
+        accs = make_accs(small_layout, n_workers)
+        sparsifier.coordinate(0, accs)
+        all_indices = [sparsifier.select(0, rank, accs[rank]).indices for rank in range(n_workers)]
+        union = np.concatenate(all_indices)
+        assert np.unique(union).size == union.size
+
+    def test_union_size_close_to_global_k(self, small_layout):
+        n_workers = 4
+        sparsifier = DEFTSparsifier(0.1)
+        sparsifier.setup(small_layout, n_workers)
+        accs = make_accs(small_layout, n_workers)
+        sparsifier.coordinate(0, accs)
+        union = np.concatenate([sparsifier.select(0, r, accs[r]).indices for r in range(n_workers)])
+        k = sparsifier.global_k
+        # The per-layer floor of 1 and worker-local k assignment can move the
+        # total by roughly the number of partitions.
+        assert abs(union.size - k) <= len(sparsifier.partitions) + n_workers
+
+    def test_indices_within_range(self, small_layout):
+        sparsifier = DEFTSparsifier(0.05)
+        sparsifier.setup(small_layout, 2)
+        accs = make_accs(small_layout, 2)
+        sparsifier.coordinate(0, accs)
+        for rank in range(2):
+            idx = sparsifier.select(0, rank, accs[rank]).indices
+            assert idx.min() >= 0 and idx.max() < small_layout.total_size
+
+    def test_standalone_mode_without_coordinate(self, small_layout, small_acc):
+        sparsifier = DEFTSparsifier(0.1)
+        sparsifier.setup(small_layout, 3)
+        result = sparsifier.select(0, 1, small_acc)
+        assert result.k_selected > 0
+
+    def test_selection_prefers_high_norm_layers(self, small_layout):
+        """A layer given a 10x larger gradient magnitude must receive a larger
+        share of the selected indices than an equal-sized quiet layer."""
+        rng = np.random.default_rng(0)
+        flat = rng.standard_normal(small_layout.total_size) * 0.01
+        loud = small_layout.slices()[1]  # lstm.weight_ih (256 elements)
+        quiet = small_layout.slices()[2]  # lstm.weight_hh (same size)
+        flat[loud] = rng.standard_normal(loud.stop - loud.start) * 1.0
+        sparsifier = DEFTSparsifier(0.05)
+        sparsifier.setup(small_layout, 1)
+        result = sparsifier.select(0, 0, flat)
+        idx = result.indices
+        loud_count = ((idx >= loud.start) & (idx < loud.stop)).sum()
+        quiet_count = ((idx >= quiet.start) & (idx < quiet.stop)).sum()
+        assert loud_count > quiet_count
+
+    def test_allocation_covers_all_partitions(self, small_layout):
+        sparsifier = DEFTSparsifier(0.1)
+        sparsifier.setup(small_layout, 4)
+        accs = make_accs(small_layout, 4)
+        sparsifier.coordinate(0, accs)
+        allocated = sorted(i for items in sparsifier._allocation for i in items)
+        assert allocated == list(range(len(sparsifier.partitions)))
+
+    def test_info_contains_partition_metadata(self, small_layout, small_acc):
+        sparsifier = DEFTSparsifier(0.05)
+        sparsifier.setup(small_layout, 2)
+        result = sparsifier.select(0, 0, small_acc)
+        assert result.info["n_partitions"] == len(sparsifier.partitions)
+        assert result.info["allocation_policy"] == "bin_packing"
+        assert "partition_seconds" in result.info
+
+
+class TestCoordinate:
+    def test_broadcast_overhead_recorded(self, small_layout):
+        n_workers = 3
+        sparsifier = DEFTSparsifier(0.1)
+        sparsifier.setup(small_layout, n_workers)
+        backend = SimulatedBackend(n_workers)
+        accs = make_accs(small_layout, n_workers)
+        sparsifier.coordinate(0, accs, backend)
+        record = backend.meter.records[-1]
+        assert record.op == "broadcast"
+        assert record.tag == "deft-allocation"
+        # Payload is one integer per partitioned layer (the paper's 4L bytes).
+        assert record.received_per_rank[0] == len(sparsifier.partitions)
+
+    def test_allocation_changes_with_delegate(self, small_layout):
+        """Different iterations can produce different allocations because the
+        delegated worker (and its accumulator) changes."""
+        n_workers = 2
+        sparsifier = DEFTSparsifier(0.1)
+        sparsifier.setup(small_layout, n_workers)
+        accs = make_accs(small_layout, n_workers, scale=1.0)
+        sparsifier.coordinate(0, accs)
+        alloc0 = [list(items) for items in sparsifier._allocation]
+        sparsifier.coordinate(1, accs)
+        alloc1 = [list(items) for items in sparsifier._allocation]
+        # They may coincide, but the delegate must differ.
+        assert sparsifier.delegate_of(0) != sparsifier.delegate_of(1)
+        assert alloc0 is not None and alloc1 is not None
+
+    def test_cached_allocation_reused_within_iteration(self, small_layout):
+        sparsifier = DEFTSparsifier(0.1)
+        sparsifier.setup(small_layout, 2)
+        accs = make_accs(small_layout, 2)
+        sparsifier.coordinate(5, accs)
+        cached = sparsifier._allocation
+        sparsifier.select(5, 0, accs[0])
+        assert sparsifier._allocation is cached
+
+
+class TestAblations:
+    def test_round_robin_policy_still_disjoint(self, small_layout):
+        sparsifier = DEFTSparsifier(0.1, allocation_policy=AllocationPolicy.ROUND_ROBIN)
+        sparsifier.setup(small_layout, 3)
+        accs = make_accs(small_layout, 3)
+        sparsifier.coordinate(0, accs)
+        union = np.concatenate([sparsifier.select(0, r, accs[r]).indices for r in range(3)])
+        assert np.unique(union).size == union.size
+
+    def test_bin_packing_balances_better_than_round_robin(self):
+        """On a layout with very unequal layer sizes, the paper's bin-packing
+        allocation yields a lower max per-worker analytic cost."""
+        from repro.sparsifiers.base import GradientLayout
+
+        layout = GradientLayout.from_named_shapes(
+            [("big", (5000,)), ("mid", (800,)), ("small1", (60,)), ("small2", (40,)), ("small3", (30,)), ("small4", (20,))]
+        )
+        rng = np.random.default_rng(0)
+        flat = rng.standard_normal(layout.total_size)
+        n_workers = 3
+
+        def max_cost(policy):
+            sparsifier = DEFTSparsifier(0.02, allocation_policy=policy)
+            sparsifier.setup(layout, n_workers)
+            accs = [flat + 0.01 * rng.standard_normal(flat.size) for _ in range(n_workers)]
+            sparsifier.coordinate(0, accs)
+            costs = [sparsifier.select(0, r, accs[r]).analytic_cost for r in range(n_workers)]
+            return max(costs)
+
+        assert max_cost(AllocationPolicy.BIN_PACKING) <= max_cost(AllocationPolicy.ROUND_ROBIN)
+
+    def test_uniform_k_ablation_differs_from_norm_proportional(self, small_layout):
+        rng = np.random.default_rng(0)
+        flat = rng.standard_normal(small_layout.total_size)
+        # Make one layer much louder so the norm-aware assignment must differ.
+        flat[small_layout.slices()[0]] *= 20.0
+        norm_aware = DEFTSparsifier(0.05, norm_proportional_k=True)
+        uniform = DEFTSparsifier(0.05, norm_proportional_k=False)
+        norm_aware.setup(small_layout, 1)
+        uniform.setup(small_layout, 1)
+        ks_norm = norm_aware._assign_k(flat)
+        ks_uniform = uniform._assign_k(flat)
+        assert not np.array_equal(ks_norm, ks_uniform)
+        # The loud layer gets more budget under the norm-aware rule.
+        assert ks_norm[0] >= ks_uniform[0]

@@ -1,0 +1,222 @@
+"""Smoke tests for the experiment drivers (one per paper figure/table).
+
+Each driver is run at tiny settings; the assertions check the *structure* of
+the output (the series the paper's artefact needs) plus the qualitative
+relationships that must hold even at smoke scale (e.g. Top-k's build-up).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    config as expcfg,
+    fig01_buildup,
+    fig03_convergence,
+    fig04_density,
+    fig05_error,
+    fig06_error_matched,
+    fig07_breakdown,
+    fig08_density_sweep,
+    fig09_speedup,
+    fig10_scaleout,
+    table1_properties,
+    table2_workloads,
+)
+from repro.experiments.runner import run_sparsifier_comparison, run_training
+
+
+class TestConfig:
+    def test_make_task_all_workloads(self):
+        for workload in (expcfg.CV, expcfg.LM, expcfg.REC):
+            task = expcfg.make_task(workload, scale="smoke", seed=0)
+            assert task.train_dataset() is not None
+
+    def test_unknown_workload_or_scale(self):
+        with pytest.raises(KeyError):
+            expcfg.make_task("speech", scale="smoke")
+        with pytest.raises(KeyError):
+            expcfg.make_task(expcfg.CV, scale="galactic")
+
+    def test_paper_scale_refused(self):
+        with pytest.raises(ValueError):
+            expcfg.make_task(expcfg.CV, scale="paper")
+
+    def test_default_densities_match_paper(self):
+        assert expcfg.default_density(expcfg.CV) == 0.01
+        assert expcfg.default_density(expcfg.LM) == 0.001
+        assert expcfg.default_density(expcfg.REC) == 0.1
+
+    def test_paper_workload_table_complete(self):
+        assert set(expcfg.PAPER_WORKLOADS) == {expcfg.CV, expcfg.LM, expcfg.REC}
+        for desc in expcfg.PAPER_WORKLOADS.values():
+            assert desc.paper_model and desc.repro_model
+
+
+class TestRunner:
+    def test_run_training_returns_series(self):
+        result = run_training(expcfg.LM, "deft", density=0.05, n_workers=2, scale="smoke",
+                              epochs=1, max_iterations_per_epoch=2)
+        assert len(result.logger.series("density")) == 2
+
+    def test_comparison_shares_task(self):
+        results = run_sparsifier_comparison(
+            expcfg.LM, ("deft", "topk"), density=0.05, n_workers=2, scale="smoke",
+            epochs=1, max_iterations_per_epoch=2,
+        )
+        assert set(results) == {"deft", "topk"}
+
+
+class TestFig01:
+    def test_buildup_increases_with_workers(self):
+        result = fig01_buildup.run(scale="smoke", worker_counts=(2, 4), epochs=1,
+                                   max_iterations_per_epoch=3)
+        stats2 = result["per_worker_count"][2]["statistics"]
+        stats4 = result["per_worker_count"][4]["statistics"]
+        assert stats2["mean"] > result["configured_density"]
+        assert stats4["mean"] > stats2["mean"]
+        assert "Figure 1" in fig01_buildup.format_report(result)
+
+
+class TestTable1:
+    def test_rows_and_qualitative_agreement(self):
+        result = table1_properties.run(scale="smoke", sparsifiers=("topk", "cltk", "deft"),
+                                       n_workers=4, iterations=2)
+        rows = {row["Sparsifier"]: row for row in result["rows"]}
+        assert rows["topk"]["Gradient build-up"] == "Yes"
+        assert rows["deft"]["Gradient build-up"] == "No"
+        assert rows["cltk"]["Worker idling"] == "Yes"
+        assert "Table 1" in table1_properties.format_report(result)
+
+    def test_paper_reference_rows_included(self):
+        result = table1_properties.run(scale="smoke", sparsifiers=("deft",), n_workers=2, iterations=1)
+        assert result["paper_rows"]["deft"]["Gradient build-up"] == "No"
+
+
+class TestTable2:
+    def test_rows_for_all_workloads(self):
+        result = table2_workloads.run(scale="smoke")
+        assert len(result["rows"]) == 3
+        for row in result["rows"]:
+            assert row["repro_parameters"] > 0
+            assert row["repro_layers"] > 1
+        assert "Table 2" in table2_workloads.format_report(result)
+
+
+class TestFig03:
+    def test_single_workload_series(self):
+        result = fig03_convergence.run_workload(
+            expcfg.LM, scale="smoke", sparsifiers=("deft", "dense"), n_workers=2,
+            epochs=1, max_iterations_per_epoch=3,
+        )
+        assert result["metric"] == "perplexity"
+        assert set(result["series"]) == {"deft", "dense"}
+        assert result["series"]["deft"]["final"] is not None
+
+    def test_multi_panel_report(self):
+        result = fig03_convergence.run(
+            scale="smoke", workloads=(expcfg.REC,), sparsifiers=("deft",), n_workers=2,
+            max_iterations_per_epoch=2,
+        )
+        assert expcfg.REC in result["panels"]
+        assert "Figure 3" in fig03_convergence.format_report(result)
+
+
+class TestFig04:
+    def test_density_ordering(self):
+        result = fig04_density.run_workload(
+            expcfg.LM, scale="smoke", sparsifiers=("deft", "topk"), density=0.05,
+            n_workers=4, epochs=1, max_iterations_per_epoch=3,
+        )
+        deft_mean = result["traces"]["deft"]["statistics"]["mean"]
+        topk_mean = result["traces"]["topk"]["statistics"]["mean"]
+        assert topk_mean > deft_mean
+        assert deft_mean == pytest.approx(0.05, rel=0.35)
+        assert "Figure 4" in fig04_density.format_report(result)
+
+
+class TestFig05:
+    def test_topk_error_not_higher_than_deft(self):
+        result = fig05_error.run_workload(
+            expcfg.LM, scale="smoke", sparsifiers=("deft", "topk"), density=0.05,
+            n_workers=4, epochs=1, max_iterations_per_epoch=4,
+        )
+        deft_error = result["traces"]["deft"]["mean_error"]
+        topk_error = result["traces"]["topk"]["mean_error"]
+        # Top-k transmits more gradients (build-up), so its error is lower.
+        assert topk_error <= deft_error + 1e-9
+        assert "Figure 5" in fig05_error.format_report(result)
+
+
+class TestFig06:
+    def test_matched_density_brings_errors_close(self):
+        result = fig06_error_matched.run_workload(
+            expcfg.LM, scale="smoke", n_workers=4, epochs=1, max_iterations_per_epoch=4,
+        )
+        deft = result["traces"]["deft"]
+        topk = result["traces"]["topk"]
+        assert deft["mean_actual_density"] > result["topk_density"]
+        assert "Figure 6" in fig06_error_matched.format_report(result)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            fig06_error_matched.run_workload(expcfg.REC, scale="smoke")
+
+
+class TestFig07:
+    def test_breakdown_structure(self):
+        result = fig07_breakdown.run(scale="smoke", sparsifiers=("deft", "topk"), n_workers=2,
+                                     max_iterations_per_epoch=3)
+        for name in ("deft", "topk"):
+            breakdown = result["breakdowns"][name]
+            assert breakdown["total"] > 0
+            assert set(breakdown) >= {"forward", "backward", "selection", "communication", "partition"}
+        # Only DEFT pays the partition/allocation overhead.
+        assert result["breakdowns"]["deft"]["partition"] > 0
+        assert result["breakdowns"]["topk"]["partition"] == 0.0
+        assert "Figure 7" in fig07_breakdown.format_report(result)
+
+    def test_deft_analytic_selection_cost_lower_than_topk(self):
+        result = fig07_breakdown.run(scale="smoke", sparsifiers=("deft", "topk"), n_workers=4,
+                                     max_iterations_per_epoch=3)
+        assert (
+            result["breakdowns"]["deft"]["selection_cost_analytic"]
+            < result["breakdowns"]["topk"]["selection_cost_analytic"]
+        )
+
+
+class TestFig08:
+    def test_density_sweep_series(self):
+        result = fig08_density_sweep.run(scale="smoke", densities=(0.1, 0.01), n_workers=2,
+                                         epochs=1, max_iterations_per_epoch=3)
+        assert "density=0.1" in result["series"]
+        assert "non-sparsified" in result["series"]
+        assert result["series"]["density=0.1"]["mean_actual_density"] > result["series"]["density=0.01"]["mean_actual_density"]
+        assert "Figure 8" in fig08_density_sweep.format_report(result)
+
+
+class TestFig09:
+    def test_speedup_curves_ordering(self):
+        result = fig09_speedup.run(scale="smoke", worker_counts=(1, 2, 4, 8), measure_wallclock=False)
+        curves = result["curves"]
+        for n in (2, 4, 8):
+            assert curves["trivial"][n] >= curves["linear"][n] - 1e-9
+            assert curves["deft_analytic"][n] >= curves["linear"][n] - 1e-9
+        assert curves["deft_analytic"][8] > curves["deft_analytic"][2]
+        assert "Figure 9" in fig09_speedup.format_report(result)
+
+    def test_gradient_snapshot_shapes(self):
+        layout, flat = fig09_speedup.gradient_snapshot(expcfg.LM, "smoke", seed=0)
+        assert flat.size == layout.total_size
+        assert np.abs(flat).sum() > 0
+
+
+class TestFig10:
+    def test_scaleout_series(self):
+        result = fig10_scaleout.run(scale="smoke", worker_counts=(2, 4), density=0.01,
+                                    epochs=1, max_iterations_per_epoch=3)
+        assert "workers=2" in result["series"]
+        assert "workers=4" in result["series"]
+        assert "non-sparsified" in result["series"]
+        for data in result["series"].values():
+            assert data["final"] is not None
+        assert "Figure 10" in fig10_scaleout.format_report(result)

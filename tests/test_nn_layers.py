@@ -1,0 +1,228 @@
+"""Tests for individual nn layers (linear, conv, norm, dropout, pooling, embedding)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(3)
+
+
+def _input(shape):
+    return Tensor(RNG.standard_normal(shape).astype(np.float32))
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(8, 5, rng=np.random.default_rng(0))
+        assert layer(_input((3, 8))).shape == (3, 5)
+
+    def test_no_bias_option(self):
+        layer = nn.Linear(8, 5, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(list(layer.named_parameters())) == 1
+
+    def test_forward_matches_manual(self):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        x = _input((3, 4))
+        expected = x.numpy() @ layer.weight.numpy().T + layer.bias.numpy()
+        np.testing.assert_allclose(layer(x).numpy(), expected, atol=1e-5)
+
+    def test_gradients_flow_to_parameters(self):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        loss = (layer(_input((3, 4))) ** 2).sum()
+        loss.backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+        assert layer.weight.grad.shape == (2, 4)
+
+
+class TestConv2dLayer:
+    def test_output_shape(self):
+        layer = nn.Conv2d(3, 6, 3, stride=1, padding=1, rng=np.random.default_rng(0))
+        assert layer(_input((2, 3, 8, 8))).shape == (2, 6, 8, 8)
+
+    def test_stride_halves_spatial(self):
+        layer = nn.Conv2d(3, 6, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        assert layer(_input((2, 3, 8, 8))).shape == (2, 6, 4, 4)
+
+    def test_no_bias(self):
+        layer = nn.Conv2d(3, 6, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+
+    def test_parameter_shapes(self):
+        layer = nn.Conv2d(3, 6, 5, rng=np.random.default_rng(0))
+        assert layer.weight.shape == (6, 3, 5, 5)
+        assert layer.bias.shape == (6,)
+
+
+class TestBatchNorm2d:
+    def test_training_output_is_normalised(self):
+        bn = nn.BatchNorm2d(4)
+        x = _input((8, 4, 6, 6))
+        out = bn(x).numpy()
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated_in_training(self):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.ones((4, 2, 3, 3), dtype=np.float32) * 5.0)
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(2)
+        bn.update_buffer("running_mean", np.array([1.0, 2.0], dtype=np.float32))
+        bn.update_buffer("running_var", np.array([4.0, 9.0], dtype=np.float32))
+        bn.eval()
+        x = Tensor(np.ones((1, 2, 2, 2), dtype=np.float32))
+        out = bn(x).numpy()
+        expected_c0 = (1.0 - 1.0) / np.sqrt(4.0 + 1e-5)
+        expected_c1 = (1.0 - 2.0) / np.sqrt(9.0 + 1e-5)
+        assert np.allclose(out[0, 0], expected_c0, atol=1e-5)
+        assert np.allclose(out[0, 1], expected_c1, atol=1e-5)
+
+    def test_eval_does_not_update_running_stats(self):
+        bn = nn.BatchNorm2d(2)
+        bn.eval()
+        before = bn.running_mean.copy()
+        bn(_input((4, 2, 3, 3)))
+        np.testing.assert_array_equal(bn.running_mean, before)
+
+    def test_rejects_non_4d_input(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(2)(_input((3, 2)))
+
+    def test_gradients_flow(self):
+        bn = nn.BatchNorm2d(3)
+        loss = (bn(_input((4, 3, 4, 4))) ** 2).sum()
+        loss.backward()
+        assert bn.weight.grad is not None and bn.bias.grad is not None
+
+
+class TestLayerNorm:
+    def test_normalises_last_dim(self):
+        ln = nn.LayerNorm(16)
+        out = ln(_input((5, 16))).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_parameters(self):
+        ln = nn.LayerNorm(8)
+        assert ln.weight.shape == (8,) and ln.bias.shape == (8,)
+
+
+class TestDropoutLayer:
+    def test_identity_in_eval(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        layer.eval()
+        x = _input((10, 10))
+        np.testing.assert_array_equal(layer(x).numpy(), x.numpy())
+
+    def test_drops_in_training(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100), dtype=np.float32))).numpy()
+        assert (out == 0).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestPoolingLayers:
+    def test_max_pool_shape(self):
+        assert nn.MaxPool2d(2)(_input((2, 3, 8, 8))).shape == (2, 3, 4, 4)
+
+    def test_avg_pool_shape(self):
+        assert nn.AvgPool2d(2)(_input((2, 3, 8, 8))).shape == (2, 3, 4, 4)
+
+    def test_global_avg_pool_shape(self):
+        assert nn.GlobalAvgPool2d()(_input((2, 3, 8, 8))).shape == (2, 3)
+
+
+class TestFlattenLayer:
+    def test_flattens_trailing_dims(self):
+        assert nn.Flatten()(_input((4, 3, 2, 2))).shape == (4, 12)
+
+    def test_preserves_2d(self):
+        assert nn.Flatten()(_input((4, 7))).shape == (4, 7)
+
+
+class TestEmbeddingLayer:
+    def test_output_shape(self):
+        emb = nn.Embedding(10, 6, rng=np.random.default_rng(0))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(10, 6)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_only_touches_used_rows(self):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        loss = (emb(np.array([2, 2, 5])) ** 2).sum()
+        loss.backward()
+        grad = emb.weight.grad
+        used = {2, 5}
+        for row in range(10):
+            if row in used:
+                assert np.abs(grad[row]).sum() > 0
+            else:
+                assert np.abs(grad[row]).sum() == 0
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        net = nn.Sequential(nn.Linear(4, 8, rng=np.random.default_rng(0)), nn.ReLU())
+        out = net(_input((2, 4)))
+        assert out.shape == (2, 8)
+        assert (out.numpy() >= 0).all()
+
+    def test_sequential_len_getitem_iter(self):
+        net = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert len(net) == 2
+        assert isinstance(net[1], nn.Tanh)
+        assert [type(m).__name__ for m in net] == ["ReLU", "Tanh"]
+
+    def test_sequential_append_registers_parameters(self):
+        net = nn.Sequential()
+        net.append(nn.Linear(3, 3, rng=np.random.default_rng(0)))
+        assert len(list(net.named_parameters())) == 2
+
+    def test_module_list_registers_parameters(self):
+        modules = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(modules.named_parameters())) == 4
+        assert len(modules) == 2
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(NotImplementedError):
+            nn.ModuleList([])(1)
+
+
+class TestActivationsAndLosses:
+    def test_relu_module(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0], dtype=np.float32)))
+        np.testing.assert_array_equal(out.numpy(), [0.0, 2.0])
+
+    def test_sigmoid_module_range(self):
+        out = nn.Sigmoid()(_input((10,))).numpy()
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_tanh_module_range(self):
+        out = nn.Tanh()(_input((10,))).numpy()
+        assert (np.abs(out) < 1).all()
+
+    def test_cross_entropy_loss_module(self):
+        loss = nn.CrossEntropyLoss()(_input((4, 3)), np.array([0, 1, 2, 0]))
+        assert loss.size == 1 and loss.item() > 0
+
+    def test_bce_loss_module(self):
+        loss = nn.BCEWithLogitsLoss()(_input((6,)), np.zeros(6))
+        assert loss.item() > 0
+
+    def test_mse_loss_module(self):
+        loss = nn.MSELoss()(Tensor(np.array([1.0, 1.0], dtype=np.float32)), np.zeros(2))
+        assert loss.item() == pytest.approx(1.0)

@@ -1,0 +1,121 @@
+"""Tests for the Module/Parameter base machinery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 3, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(3, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.array([2.0], dtype=np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestParameterRegistration:
+    def test_named_parameters_order_and_names(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["scale", "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_parameters_require_grad(self):
+        net = TinyNet()
+        assert all(p.requires_grad for p in net.parameters())
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        expected = 1 + (3 * 4 + 3) + (2 * 3 + 2)
+        assert net.num_parameters() == expected
+
+    def test_named_modules_includes_children(self):
+        net = TinyNet()
+        names = [n for n, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_register_parameter_explicitly(self):
+        module = Module()
+        module.register_parameter("w", Parameter(np.zeros(3)))
+        assert [n for n, _ in module.named_parameters()] == ["w"]
+
+
+class TestTrainingMode:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+
+class TestZeroGrad:
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        x = Tensor(np.random.default_rng(0).standard_normal((5, 4)).astype(np.float32))
+        loss = (net(x) ** 2).sum()
+        loss.backward()
+        assert all(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net_a = TinyNet()
+        net_b = TinyNet()
+        # Perturb net_b so the two differ.
+        for p in net_b.parameters():
+            p.data = p.data + 1.0
+        net_b.load_state_dict(net_a.state_dict())
+        for pa, pb in zip(net_a.parameters(), net_b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_returns_copies(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"][0] = 99.0
+        assert net.scale.data[0] == 2.0
+
+    def test_load_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_load_unknown_key_raises(self):
+        net = TinyNet()
+        with pytest.raises(KeyError):
+            net.load_state_dict({"nonexistent": np.zeros(1)})
+
+    def test_buffers_serialised(self):
+        bn = nn.BatchNorm2d(3)
+        bn.update_buffer("running_mean", np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        state = bn.state_dict()
+        fresh = nn.BatchNorm2d(3)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.running_mean, [1.0, 2.0, 3.0])
+
+
+class TestBuffers:
+    def test_update_unregistered_buffer_raises(self):
+        module = Module()
+        with pytest.raises(KeyError):
+            module.update_buffer("missing", np.zeros(2))
+
+    def test_named_buffers(self):
+        bn = nn.BatchNorm2d(2)
+        names = [n for n, _ in bn.named_buffers()]
+        assert names == ["running_mean", "running_var"]
+
+
+class TestForwardProtocol:
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,117 @@
+"""Tests for LSTMCell / LSTM."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+from tests.test_tensor_autograd import check_gradient
+
+RNG = np.random.default_rng(9)
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = nn.LSTMCell(6, 10, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((4, 6)).astype(np.float32))
+        h, c = cell(x)
+        assert h.shape == (4, 10)
+        assert c.shape == (4, 10)
+
+    def test_accepts_explicit_state(self):
+        cell = nn.LSTMCell(6, 10, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((4, 6)).astype(np.float32))
+        h0 = Tensor(np.ones((4, 10), dtype=np.float32))
+        c0 = Tensor(np.ones((4, 10), dtype=np.float32))
+        h1, c1 = cell(x, (h0, c0))
+        h_default, _ = cell(x)
+        assert not np.allclose(h1.numpy(), h_default.numpy())
+
+    def test_parameter_shapes(self):
+        cell = nn.LSTMCell(6, 10)
+        assert cell.weight_ih.shape == (40, 6)
+        assert cell.weight_hh.shape == (40, 10)
+        assert cell.bias_ih.shape == (40,)
+
+    def test_hidden_state_bounded_by_tanh(self):
+        cell = nn.LSTMCell(6, 10, rng=np.random.default_rng(0))
+        x = Tensor((RNG.standard_normal((4, 6)) * 10).astype(np.float32))
+        h, _ = cell(x)
+        assert np.abs(h.numpy()).max() <= 1.0 + 1e-6
+
+    def test_matches_manual_lstm_equations(self):
+        """One step of the cell equals the textbook gate equations."""
+        cell = nn.LSTMCell(3, 2, rng=np.random.default_rng(0))
+        x_np = RNG.standard_normal((1, 3)).astype(np.float32)
+        h_np = RNG.standard_normal((1, 2)).astype(np.float32)
+        c_np = RNG.standard_normal((1, 2)).astype(np.float32)
+        h_out, c_out = cell(Tensor(x_np), (Tensor(h_np), Tensor(c_np)))
+
+        gates = x_np @ cell.weight_ih.numpy().T + h_np @ cell.weight_hh.numpy().T
+        gates = gates + cell.bias_ih.numpy() + cell.bias_hh.numpy()
+        sig = lambda v: 1.0 / (1.0 + np.exp(-v))
+        i, f, g, o = gates[:, :2], gates[:, 2:4], gates[:, 4:6], gates[:, 6:8]
+        c_expected = sig(f) * c_np + sig(i) * np.tanh(g)
+        h_expected = sig(o) * np.tanh(c_expected)
+        np.testing.assert_allclose(c_out.numpy(), c_expected, atol=1e-5)
+        np.testing.assert_allclose(h_out.numpy(), h_expected, atol=1e-5)
+
+    def test_gradient_through_one_step(self):
+        w_ih = RNG.standard_normal((8, 3)) * 0.3
+        w_hh = RNG.standard_normal((8, 2)) * 0.3
+        x = RNG.standard_normal((2, 3))
+
+        def build(tensors):
+            cell = nn.LSTMCell(3, 2, rng=np.random.default_rng(0))
+            cell.weight_ih.data = tensors[0].data
+            cell.weight_hh.data = tensors[1].data
+            # Re-wire parameters so the graph is built from the test tensors.
+            cell._parameters["weight_ih"] = tensors[0]
+            cell._parameters["weight_hh"] = tensors[1]
+            object.__setattr__(cell, "weight_ih", tensors[0])
+            object.__setattr__(cell, "weight_hh", tensors[1])
+            h, c = cell(Tensor(x, dtype=np.float64))
+            return (h * h).sum() + (c * c).sum()
+
+        check_gradient(build, [w_ih, w_hh], tolerance=1e-5)
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = nn.LSTM(5, 7, num_layers=2, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((3, 6, 5)).astype(np.float32))
+        out, state = lstm(x)
+        assert out.shape == (3, 6, 7)
+        assert len(state) == 2
+        assert state[0][0].shape == (3, 7)
+
+    def test_parameter_count(self):
+        lstm = nn.LSTM(5, 7, num_layers=2)
+        # layer0: 4*7*(5+7) + 2*4*7 ; layer1: 4*7*(7+7) + 2*4*7
+        expected = (28 * 5 + 28 * 7 + 28 + 28) + (28 * 7 + 28 * 7 + 28 + 28)
+        assert sum(p.size for p in lstm.parameters()) == expected
+
+    def test_state_carries_over(self):
+        lstm = nn.LSTM(4, 6, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((2, 3, 4)).astype(np.float32))
+        out1, state = lstm(x)
+        out2, _ = lstm(x, state)
+        assert not np.allclose(out1.numpy(), out2.numpy())
+
+    def test_gradients_reach_all_parameters(self):
+        lstm = nn.LSTM(4, 6, num_layers=2, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((2, 5, 4)).astype(np.float32))
+        out, _ = lstm(x)
+        (out * out).sum().backward()
+        for name, p in lstm.named_parameters():
+            assert p.grad is not None, name
+            assert np.abs(p.grad).sum() > 0, name
+
+    def test_longer_sequence_changes_output(self):
+        lstm = nn.LSTM(4, 6, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((1, 4, 4)).astype(np.float32)
+        out_full, _ = lstm(Tensor(x))
+        out_prefix, _ = lstm(Tensor(x[:, :2]))
+        np.testing.assert_allclose(
+            out_full.numpy()[:, :2], out_prefix.numpy(), atol=1e-5
+        )

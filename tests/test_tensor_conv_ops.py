@@ -1,0 +1,130 @@
+"""Tests for conv2d / pooling and their backward passes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor.conv_ops import (
+    avg_pool2d,
+    col2im,
+    conv2d,
+    conv_output_size,
+    global_avg_pool2d,
+    im2col,
+    max_pool2d,
+)
+from tests.test_tensor_autograd import check_gradient
+
+RNG = np.random.default_rng(21)
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [(8, 3, 1, 1, 8), (8, 3, 2, 1, 4), (8, 1, 1, 0, 8), (16, 3, 2, 1, 8), (5, 3, 1, 0, 3)],
+    )
+    def test_formula(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = RNG.standard_normal((2, 3, 8, 8))
+        cols = im2col(x, (3, 3), stride=1, padding=1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> (the two must be adjoint maps)."""
+        x = RNG.standard_normal((1, 2, 6, 6))
+        cols = im2col(x, (3, 3), stride=1, padding=1)
+        y = RNG.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, (3, 3), stride=1, padding=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestConv2d:
+    def test_matches_direct_convolution(self):
+        x = RNG.standard_normal((1, 1, 5, 5))
+        w = RNG.standard_normal((1, 1, 3, 3))
+        out = conv2d(Tensor(x, dtype=np.float64), Tensor(w, dtype=np.float64)).numpy()
+        # direct computation with no padding, stride 1
+        expected = np.zeros((1, 1, 3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[0, 0, i, j] = (x[0, 0, i : i + 3, j : j + 3] * w[0, 0]).sum()
+        np.testing.assert_allclose(out, expected, atol=1e-6)
+
+    def test_output_shape_with_stride_and_padding(self):
+        x = Tensor(RNG.standard_normal((2, 3, 8, 8)), dtype=np.float64)
+        w = Tensor(RNG.standard_normal((5, 3, 3, 3)), dtype=np.float64)
+        out = conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)), dtype=np.float64)
+        w = Tensor(np.zeros((2, 1, 3, 3)), dtype=np.float64)
+        b = Tensor(np.array([1.5, -2.0]), dtype=np.float64)
+        out = conv2d(x, w, b, padding=1).numpy()
+        assert np.allclose(out[0, 0], 1.5)
+        assert np.allclose(out[0, 1], -2.0)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 3, 4, 4)))
+        w = Tensor(np.zeros((2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+    def test_gradients(self):
+        x = RNG.standard_normal((2, 2, 5, 5))
+        w = RNG.standard_normal((3, 2, 3, 3)) * 0.3
+        b = RNG.standard_normal(3) * 0.3
+        check_gradient(
+            lambda t: (conv2d(t[0], t[1], t[2], stride=1, padding=1) ** 2).mean(),
+            [x, w, b],
+            tolerance=1e-5,
+        )
+
+    def test_gradients_with_stride(self):
+        x = RNG.standard_normal((1, 2, 6, 6))
+        w = RNG.standard_normal((2, 2, 3, 3)) * 0.3
+        check_gradient(
+            lambda t: (conv2d(t[0], t[1], stride=2, padding=1) ** 2).mean(),
+            [x, w],
+            tolerance=1e-5,
+        )
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x, dtype=np.float64), 2).numpy()
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x, dtype=np.float64), 2).numpy()
+        np.testing.assert_array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_gradient(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+        check_gradient(lambda t: (max_pool2d(t[0], 2) ** 2).sum(), [x], tolerance=1e-5)
+
+    def test_avg_pool_gradient(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+        check_gradient(lambda t: (avg_pool2d(t[0], 2) ** 2).sum(), [x], tolerance=1e-5)
+
+    def test_global_avg_pool(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+        out = global_avg_pool2d(Tensor(x, dtype=np.float64)).numpy()
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), atol=1e-7)
+
+    def test_indivisible_spatial_dims_raise(self):
+        x = Tensor(np.zeros((1, 1, 5, 5)))
+        with pytest.raises(ValueError):
+            max_pool2d(x, 2)
+
+    def test_overlapping_pooling_not_supported(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)))
+        with pytest.raises(NotImplementedError):
+            max_pool2d(x, 2, stride=1)

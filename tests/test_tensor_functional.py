@@ -1,0 +1,169 @@
+"""Tests for repro.tensor.functional."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+from tests.test_tensor_autograd import check_gradient
+
+RNG = np.random.default_rng(11)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(RNG.standard_normal((4, 6)), dtype=np.float64)
+        out = F.softmax(x).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), atol=1e-7)
+
+    def test_shift_invariance(self):
+        x = RNG.standard_normal((3, 5))
+        a = F.softmax(Tensor(x, dtype=np.float64)).numpy()
+        b = F.softmax(Tensor(x + 100.0, dtype=np.float64)).numpy()
+        np.testing.assert_allclose(a, b, atol=1e-7)
+
+    def test_large_values_do_not_overflow(self):
+        x = Tensor(np.array([[1e4, 0.0, -1e4]]), dtype=np.float64)
+        out = F.softmax(x).numpy()
+        assert np.isfinite(out).all()
+
+    def test_gradient(self):
+        x = RNG.standard_normal((3, 4))
+        check_gradient(lambda t: (F.softmax(t[0]) ** 2).sum(), [x])
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self):
+        x = Tensor(RNG.standard_normal((3, 5)), dtype=np.float64)
+        np.testing.assert_allclose(
+            F.log_softmax(x).numpy(), np.log(F.softmax(x).numpy()), atol=1e-6
+        )
+
+    def test_gradient(self):
+        x = RNG.standard_normal((2, 4))
+        check_gradient(lambda t: (F.log_softmax(t[0]) * 0.3).sum(), [x])
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = RNG.standard_normal((4, 3))
+        targets = np.array([0, 1, 2, 1])
+        loss = F.cross_entropy(Tensor(logits, dtype=np.float64), targets).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert loss == pytest.approx(expected, rel=1e-6)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = F.cross_entropy(Tensor(logits, dtype=np.float64), np.array([1, 2])).item()
+        assert loss < 1e-6
+
+    def test_reductions(self):
+        logits = Tensor(RNG.standard_normal((4, 3)), dtype=np.float64)
+        targets = np.array([0, 1, 2, 1])
+        total = F.cross_entropy(logits, targets, reduction="sum").item()
+        mean = F.cross_entropy(logits, targets, reduction="mean").item()
+        none = F.cross_entropy(logits, targets, reduction="none").numpy()
+        assert total == pytest.approx(mean * 4, rel=1e-6)
+        assert none.shape == (4,)
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, targets, reduction="bogus")
+
+    def test_gradient(self):
+        logits = RNG.standard_normal((5, 4))
+        targets = np.array([0, 3, 1, 2, 2])
+        check_gradient(lambda t: F.cross_entropy(t[0], targets), [logits])
+
+
+class TestBCEWithLogits:
+    def test_matches_reference(self):
+        logits = RNG.standard_normal(10)
+        targets = (RNG.random(10) > 0.5).astype(np.float64)
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits, dtype=np.float64), targets).item()
+        p = 1.0 / (1.0 + np.exp(-logits))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(expected, rel=1e-5)
+
+    def test_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([60.0, -60.0]), dtype=np.float64)
+        loss = F.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0])).item()
+        assert np.isfinite(loss)
+        assert loss < 1e-6
+
+    def test_gradient(self):
+        logits = RNG.standard_normal(8)
+        targets = (RNG.random(8) > 0.5).astype(np.float64)
+        check_gradient(lambda t: F.binary_cross_entropy_with_logits(t[0], targets), [logits])
+
+
+class TestMSELoss:
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 2.0]), dtype=np.float64)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0])).item()
+        assert loss == pytest.approx(2.5)
+
+    def test_gradient(self):
+        pred = RNG.standard_normal(6)
+        target = RNG.standard_normal(6)
+        check_gradient(lambda t: F.mse_loss(t[0], target), [pred])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(RNG.standard_normal(100), dtype=np.float64)
+        out = F.dropout(x, 0.5, training=False)
+        np.testing.assert_array_equal(out.numpy(), x.numpy())
+
+    def test_p_zero_is_identity(self):
+        x = Tensor(RNG.standard_normal(100), dtype=np.float64)
+        out = F.dropout(x, 0.0, training=True)
+        np.testing.assert_array_equal(out.numpy(), x.numpy())
+
+    def test_keeps_expected_fraction(self):
+        x = Tensor(np.ones(20000), dtype=np.float64)
+        out = F.dropout(x, 0.3, training=True, rng=np.random.default_rng(0)).numpy()
+        kept = (out != 0).mean()
+        assert kept == pytest.approx(0.7, abs=0.02)
+
+    def test_rescales_kept_values(self):
+        x = Tensor(np.ones(10000), dtype=np.float64)
+        out = F.dropout(x, 0.25, training=True, rng=np.random.default_rng(1)).numpy()
+        nonzero = out[out != 0]
+        np.testing.assert_allclose(nonzero, 1.0 / 0.75)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0)
+
+
+class TestEmbeddingAndOneHot:
+    def test_embedding_gathers_rows(self):
+        weight = Tensor(np.arange(12, dtype=np.float64).reshape(4, 3), dtype=np.float64)
+        out = F.embedding(weight, np.array([2, 0]))
+        np.testing.assert_array_equal(out.numpy(), weight.numpy()[[2, 0]])
+
+    def test_embedding_gradient_scatters(self):
+        weight = RNG.standard_normal((6, 4))
+        idx = np.array([1, 1, 3])
+        check_gradient(lambda t: (F.embedding(t[0], idx) ** 2).sum(), [weight])
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestLinear:
+    def test_shapes_and_gradient(self):
+        x = RNG.standard_normal((3, 5))
+        w = RNG.standard_normal((2, 5))
+        b = RNG.standard_normal(2)
+        check_gradient(lambda t: (F.linear(t[0], t[1], t[2]) ** 2).sum(), [x, w, b])
+
+    def test_no_bias(self):
+        x = Tensor(RNG.standard_normal((3, 5)), dtype=np.float64)
+        w = Tensor(RNG.standard_normal((2, 5)), dtype=np.float64)
+        out = F.linear(x, w)
+        np.testing.assert_allclose(out.numpy(), x.numpy() @ w.numpy().T, atol=1e-7)

@@ -1,0 +1,79 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.init import (
+    calculate_fan,
+    kaiming_normal,
+    kaiming_uniform,
+    normal,
+    ones,
+    uniform,
+    xavier_normal,
+    xavier_uniform,
+    zeros,
+)
+
+
+class TestCalculateFan:
+    def test_linear_shape(self):
+        assert calculate_fan((10, 20)) == (20, 10)
+
+    def test_conv_shape(self):
+        fan_in, fan_out = calculate_fan((8, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 8 * 9
+
+    def test_vector_shape(self):
+        assert calculate_fan((7,)) == (7, 7)
+
+    def test_empty_shape_raises(self):
+        with pytest.raises(ValueError):
+            calculate_fan(())
+
+
+class TestDistributions:
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((50, 100), rng=rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = xavier_normal((200, 300), rng=rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 500), rel=0.1)
+
+    def test_kaiming_uniform_bound_scales_with_fan_in(self):
+        rng = np.random.default_rng(0)
+        small_fan = kaiming_uniform((10, 4), rng=rng)
+        large_fan = kaiming_uniform((10, 400), rng=rng)
+        assert np.abs(small_fan).max() > np.abs(large_fan).max()
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal((100, 200), rng=rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 200), rel=0.1)
+
+    def test_uniform_range(self):
+        w = uniform((1000,), -0.2, 0.2, rng=np.random.default_rng(1))
+        assert w.min() >= -0.2 and w.max() < 0.2
+
+    def test_normal_moments(self):
+        w = normal((20000,), mean=1.0, std=0.5, rng=np.random.default_rng(2))
+        assert w.mean() == pytest.approx(1.0, abs=0.02)
+        assert w.std() == pytest.approx(0.5, abs=0.02)
+
+    def test_zeros_and_ones(self):
+        assert zeros((3, 2)).sum() == 0.0
+        assert ones((3, 2)).sum() == 6.0
+
+    def test_default_dtype_is_float32(self):
+        assert xavier_uniform((3, 3)).dtype == np.float32
+        assert kaiming_normal((3, 3)).dtype == np.float32
+
+    def test_reproducible_with_same_rng_seed(self):
+        a = kaiming_uniform((4, 4), rng=np.random.default_rng(5))
+        b = kaiming_uniform((4, 4), rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,115 @@
+"""Tests for flatten/unflatten of named arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.flatten import FlatSpec, flatten_arrays, unflatten_vector
+
+
+def make_named(rng, shapes):
+    return [(f"layer{i}", rng.standard_normal(shape)) for i, shape in enumerate(shapes)]
+
+
+class TestFlattenArrays:
+    def test_total_size_is_sum(self):
+        rng = np.random.default_rng(0)
+        named = make_named(rng, [(3, 4), (5,), (2, 2, 2)])
+        flat, spec = flatten_arrays(named)
+        assert flat.size == 12 + 5 + 8
+        assert spec.total_size == flat.size
+
+    def test_order_preserved(self):
+        named = [("a", np.array([1.0, 2.0])), ("b", np.array([3.0]))]
+        flat, spec = flatten_arrays(named)
+        np.testing.assert_array_equal(flat, [1.0, 2.0, 3.0])
+        assert spec.names == ("a", "b")
+
+    def test_offsets_are_contiguous(self):
+        rng = np.random.default_rng(1)
+        named = make_named(rng, [(4,), (3, 3), (2,)])
+        _, spec = flatten_arrays(named)
+        for i in range(1, spec.n_arrays):
+            assert spec.offsets[i] == spec.offsets[i - 1] + spec.sizes[i - 1]
+
+    def test_empty_input(self):
+        flat, spec = flatten_arrays([])
+        assert flat.size == 0
+        assert spec.total_size == 0
+
+    def test_dtype_conversion(self):
+        named = [("a", np.array([1, 2], dtype=np.int32))]
+        flat, _ = flatten_arrays(named, dtype=np.float32)
+        assert flat.dtype == np.float32
+
+
+class TestUnflatten:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        named = make_named(rng, [(3, 2), (7,), (1, 4)])
+        flat, spec = flatten_arrays(named)
+        restored = unflatten_vector(flat, spec)
+        for name, original in named:
+            np.testing.assert_allclose(restored[name], original)
+            assert restored[name].shape == original.shape
+
+    def test_wrong_length_raises(self):
+        rng = np.random.default_rng(3)
+        flat, spec = flatten_arrays(make_named(rng, [(3,)]))
+        with pytest.raises(ValueError):
+            unflatten_vector(np.zeros(spec.total_size + 1), spec)
+
+    def test_returned_arrays_are_copies(self):
+        named = [("a", np.array([1.0, 2.0]))]
+        flat, spec = flatten_arrays(named)
+        restored = unflatten_vector(flat, spec)
+        restored["a"][0] = 99.0
+        assert flat[0] == 1.0
+
+
+class TestFlatSpec:
+    def test_slice_of(self):
+        rng = np.random.default_rng(4)
+        named = make_named(rng, [(4,), (6,)])
+        flat, spec = flatten_arrays(named)
+        np.testing.assert_allclose(flat[spec.slice_of("layer1")], named[1][1].reshape(-1))
+
+    def test_slice_of_unknown_name(self):
+        _, spec = flatten_arrays([("a", np.zeros(3))])
+        with pytest.raises(KeyError):
+            spec.slice_of("missing")
+
+    def test_boundaries(self):
+        _, spec = flatten_arrays([("a", np.zeros(3)), ("b", np.zeros(5))])
+        assert spec.boundaries() == [(0, 3), (3, 8)]
+
+    def test_owner_of(self):
+        _, spec = flatten_arrays([("a", np.zeros(3)), ("b", np.zeros(5))])
+        assert spec.owner_of(0) == "a"
+        assert spec.owner_of(2) == "a"
+        assert spec.owner_of(3) == "b"
+        assert spec.owner_of(7) == "b"
+
+    def test_owner_of_out_of_range(self):
+        _, spec = flatten_arrays([("a", np.zeros(3))])
+        with pytest.raises(IndexError):
+            spec.owner_of(3)
+        with pytest.raises(IndexError):
+            spec.owner_of(-1)
+
+
+@given(
+    sizes=st.lists(st.integers(1, 20), min_size=1, max_size=10),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_flatten_unflatten_roundtrip_property(sizes, seed):
+    """Flatten followed by unflatten recovers every array exactly."""
+    rng = np.random.default_rng(seed)
+    named = [(f"p{i}", rng.standard_normal(size)) for i, size in enumerate(sizes)]
+    flat, spec = flatten_arrays(named)
+    assert flat.size == sum(sizes)
+    restored = unflatten_vector(flat, spec)
+    for name, original in named:
+        np.testing.assert_allclose(restored[name], original)

@@ -1,0 +1,87 @@
+"""Tests for the run logger."""
+
+import json
+
+import pytest
+
+from repro.utils.logging import RunLogger, ScalarSeries, merge_series
+
+
+class TestScalarSeries:
+    def test_append_and_stats(self):
+        series = ScalarSeries("loss")
+        series.append(0, 2.0)
+        series.append(1, 4.0)
+        assert series.last() == 4.0
+        assert series.mean() == 3.0
+        assert series.max() == 4.0
+        assert series.min() == 2.0
+        assert len(series) == 2
+
+    def test_empty_stats(self):
+        series = ScalarSeries("empty")
+        assert series.last() is None
+        assert series.mean() == 0.0
+        assert series.max() == 0.0
+        assert series.min() == 0.0
+
+
+class TestRunLogger:
+    def test_log_scalar_creates_series(self):
+        logger = RunLogger("run")
+        logger.log_scalar("density", 0, 0.01)
+        logger.log_scalar("density", 1, 0.02)
+        assert logger.has_series("density")
+        assert logger.series("density").values == [0.01, 0.02]
+
+    def test_series_for_unknown_name_is_empty(self):
+        logger = RunLogger("run")
+        assert len(logger.series("missing")) == 0
+        assert not logger.has_series("missing")
+
+    def test_metadata(self):
+        logger = RunLogger("run")
+        logger.log_metadata(task="lm", workers=4)
+        logger.log_metadata(workers=8)
+        assert logger.metadata == {"task": "lm", "workers": 8}
+
+    def test_series_names_sorted(self):
+        logger = RunLogger("run")
+        logger.log_scalar("b", 0, 1.0)
+        logger.log_scalar("a", 0, 1.0)
+        assert logger.series_names() == ["a", "b"]
+
+    def test_roundtrip_dict(self):
+        logger = RunLogger("exp")
+        logger.log_metadata(alpha=1)
+        logger.log_scalar("x", 0, 5.0)
+        restored = RunLogger.from_dict(logger.to_dict())
+        assert restored.run_name == "exp"
+        assert restored.metadata == {"alpha": 1}
+        assert restored.series("x").values == [5.0]
+
+    def test_save_and_load_json(self, tmp_path):
+        logger = RunLogger("disk")
+        logger.log_scalar("err", 3, 1.5)
+        path = logger.save_json(tmp_path / "run.json")
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["run_name"] == "disk"
+        restored = RunLogger.load_json(path)
+        assert restored.series("err").steps == [3]
+
+
+class TestMergeSeries:
+    def test_merges_by_run_name(self):
+        a = RunLogger("a")
+        a.log_scalar("loss", 0, 1.0)
+        b = RunLogger("b")
+        b.log_scalar("loss", 0, 2.0)
+        merged = merge_series([a, b], "loss")
+        assert set(merged) == {"a", "b"}
+
+    def test_duplicate_run_names_are_disambiguated(self):
+        a = RunLogger("same")
+        b = RunLogger("same")
+        merged = merge_series([a, b], "loss")
+        assert len(merged) == 2

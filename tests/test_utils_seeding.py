@@ -1,0 +1,108 @@
+"""Tests for repro.utils.seeding."""
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import (
+    SeedSequenceFactory,
+    derive_seed,
+    new_rng,
+    spawn_worker_rngs,
+    stable_shuffle,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_different_keys_give_different_seeds(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 2, 4)
+
+    def test_different_roots_give_different_seeds(self):
+        assert derive_seed(1, 7) != derive_seed(2, 7)
+
+    def test_seed_is_nonnegative_63bit(self):
+        for keys in [(0,), (1, 2), (999, 10**9)]:
+            seed = derive_seed(42, *keys)
+            assert 0 <= seed < 2**63
+
+
+class TestNewRng:
+    def test_same_seed_same_stream(self):
+        a = new_rng(5, 1).random(4)
+        b = new_rng(5, 1).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = new_rng(None).random(3)
+        b = new_rng(None).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_no_keys_uses_root_directly(self):
+        a = new_rng(77).random(3)
+        b = np.random.default_rng(77).random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSeedSequenceFactory:
+    def test_rng_reproducible_per_key(self):
+        factory = SeedSequenceFactory(9)
+        a = factory.rng("worker", 0).random(5)
+        b = factory.rng("worker", 0).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rng_differs_between_keys(self):
+        factory = SeedSequenceFactory(9)
+        a = factory.rng("worker", 0).random(5)
+        b = factory.rng("worker", 1).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_string_and_int_keys_supported(self):
+        factory = SeedSequenceFactory(3)
+        assert factory.seed_for("model") != factory.seed_for("loader")
+        assert factory.seed_for(0) != factory.seed_for(1)
+
+    def test_unsupported_key_type_raises(self):
+        factory = SeedSequenceFactory(3)
+        with pytest.raises(TypeError):
+            factory.seed_for(3.14)
+
+    def test_spawn_creates_independent_child(self):
+        factory = SeedSequenceFactory(3)
+        child = factory.spawn("phase", 1)
+        assert isinstance(child, SeedSequenceFactory)
+        assert child.root_seed == factory.seed_for("phase", 1)
+
+    def test_default_root_seed(self):
+        assert SeedSequenceFactory().root_seed == SeedSequenceFactory(None).root_seed
+
+
+class TestWorkerRngs:
+    def test_spawn_worker_rngs_are_independent(self):
+        rngs = spawn_worker_rngs(1, 4)
+        draws = [r.random(8) for r in rngs]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_spawn_worker_rngs_reproducible(self):
+        a = [r.random(3) for r in spawn_worker_rngs(2, 3)]
+        b = [r.random(3) for r in spawn_worker_rngs(2, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestStableShuffle:
+    def test_is_permutation(self):
+        items = list(range(20))
+        shuffled = stable_shuffle(items, seed=4)
+        assert sorted(shuffled) == items
+
+    def test_deterministic(self):
+        items = list("abcdefgh")
+        assert stable_shuffle(items, 7) == stable_shuffle(items, 7)
+
+    def test_different_seeds_differ(self):
+        items = list(range(50))
+        assert stable_shuffle(items, 1) != stable_shuffle(items, 2)
