@@ -1,0 +1,78 @@
+"""Micro-benchmark: aggregator overhead at realistic union sizes.
+
+The robust rules pay for their Byzantine tolerance with extra arithmetic at
+the aggregation point: the mean is one vectorised reduction, the median
+sorts per coordinate, Krum computes an ``n x n`` distance matrix over
+``m``-dimensional rows, and the geometric median iterates Weiszfeld steps.
+This benchmark times one ``aggregate`` call per rule on contribution
+matrices shaped like a real sparse step (16 workers, index unions from 10k
+to 200k gradients) so the robustness grid's runtime is explainable.
+
+Run with::
+
+    pytest benchmarks/test_robust_aggregation.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregators import build_aggregator
+
+N_WORKERS = 16
+N_BYZANTINE = 3
+
+#: Union sizes bracketing the paper's workloads: density 0.001 of a ~10M
+#: parameter model up to density 0.1 of a ~2M parameter model.
+UNION_SIZES = (10_000, 200_000)
+
+AGGREGATORS = (
+    "mean",
+    "median",
+    "trimmed_mean",
+    "krum",
+    "multi_krum",
+    "geometric_median",
+    "centered_clipping",
+)
+
+
+def contribution_matrix(m: int) -> np.ndarray:
+    rng = np.random.default_rng(42)
+    matrix = 0.01 * rng.standard_normal((N_WORKERS, m))
+    # Give the Byzantine rows adversarial content so data-dependent rules
+    # (geometric median's iteration count) see realistic inputs.
+    matrix[-N_BYZANTINE:] *= -5.0
+    return matrix
+
+
+@pytest.mark.parametrize("union_size", UNION_SIZES)
+@pytest.mark.parametrize("name", AGGREGATORS)
+def test_aggregator_overhead(benchmark, name, union_size):
+    benchmark.group = f"aggregate-union-{union_size}"
+    aggregator = build_aggregator(name, n_byzantine=N_BYZANTINE)
+    aggregator.setup(N_WORKERS)
+    matrix = contribution_matrix(union_size)
+    indices = np.arange(union_size)
+
+    result = benchmark(lambda: aggregator.aggregate(matrix, indices=indices))
+    assert result.shape == (union_size,)
+    assert np.isfinite(result).all()
+
+
+def test_aggregates_bounded_by_contributions():
+    """Sanity relationship (not timing-asserted): the convex-combination
+    rules return vectors inside the per-coordinate contribution range.
+    Centered clipping seeds its center at the origin, so it is only checked
+    for finiteness."""
+    matrix = contribution_matrix(UNION_SIZES[0])
+    lo, hi = matrix.min(axis=0), matrix.max(axis=0)
+    for name in AGGREGATORS:
+        aggregator = build_aggregator(name, n_byzantine=N_BYZANTINE)
+        aggregator.setup(N_WORKERS)
+        result = aggregator.aggregate(matrix, indices=np.arange(matrix.shape[1]))
+        assert np.isfinite(result).all(), name
+        if name != "centered_clipping":
+            assert np.all(result >= lo - 1e-9), name
+            assert np.all(result <= hi + 1e-9), name

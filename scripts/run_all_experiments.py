@@ -26,6 +26,7 @@ from repro.experiments import (
     fig08_density_sweep,
     fig09_speedup,
     fig10_scaleout,
+    robustness_grid,
     table1_properties,
     table2_workloads,
 )
@@ -71,6 +72,8 @@ def main() -> None:
             fig09_speedup.run(scale=args.scale, density=0.01, worker_counts=(1, 2, 4, 8, 16, 32)))),
         ("Figure 10", lambda: fig10_scaleout.format_report(
             fig10_scaleout.run(scale=args.scale, density=0.01, worker_counts=(2, 4, 8, 16), epochs=epochs))),
+        ("Robustness grid", lambda: robustness_grid.format_report(
+            robustness_grid.run(scale=args.scale, n_workers=8, n_byzantine=2, epochs=epochs))),
     ]
 
     emit(f"# DEFT reproduction -- experiment sweep (scale={args.scale}, workers={workers})")

@@ -1,0 +1,29 @@
+"""Robust aggregation of per-worker sparse contributions.
+
+This package generalises step 6 of the paper's Algorithm 1 (the mean of the
+all-reduced contributions) into a pluggable :class:`Aggregator` interface
+with Byzantine-robust implementations, so the sparsified trainer can be
+studied under worker failures and attacks (see :mod:`repro.attacks`).
+"""
+
+from repro.aggregators.base import Aggregator
+from repro.aggregators.centered_clipping import CenteredClippingAggregator
+from repro.aggregators.geometric_median import GeometricMedianAggregator
+from repro.aggregators.krum import KrumAggregator, MultiKrumAggregator
+from repro.aggregators.mean import MeanAggregator
+from repro.aggregators.median import MedianAggregator
+from repro.aggregators.registry import available_aggregators, build_aggregator
+from repro.aggregators.trimmed_mean import TrimmedMeanAggregator
+
+__all__ = [
+    "Aggregator",
+    "MeanAggregator",
+    "MedianAggregator",
+    "TrimmedMeanAggregator",
+    "KrumAggregator",
+    "MultiKrumAggregator",
+    "GeometricMedianAggregator",
+    "CenteredClippingAggregator",
+    "build_aggregator",
+    "available_aggregators",
+]

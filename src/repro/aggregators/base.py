@@ -1,0 +1,109 @@
+"""Aggregator interface for robust combination of sparse contributions.
+
+In Algorithm 1 the model update is the *mean* of the per-worker
+error-feedback contributions restricted to the global index union.  A plain
+mean is optimal when every worker is benign, but a single faulty or
+adversarial worker can move the mean arbitrarily far.  An
+:class:`Aggregator` generalises step 6 of the algorithm: it receives the
+``(n_workers, union_size)`` matrix of per-worker contributions and returns
+the single ``(union_size,)`` vector actually applied to the model.
+
+Two communication patterns back the two families of rules:
+
+- ``requires_individual_contributions = False`` (plain mean): a sum
+  all-reduce suffices, exactly as in the paper's Algorithm 1.  The trainer
+  calls :meth:`aggregate_reduced` with the all-reduced sum.
+- ``requires_individual_contributions = True`` (every robust rule): the
+  aggregation point needs each worker's vector separately, so the trainer
+  all-gathers the contributions and calls :meth:`aggregate`.  The alpha-beta
+  cost model prices that gather-based path accordingly.
+
+``n_byzantine`` is the number of workers the rule should tolerate (the
+``f`` of the Byzantine-robustness literature).  Every implementation
+accepts it, even those that ignore it, so the registry can construct any
+rule with a uniform signature.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Aggregator"]
+
+
+class Aggregator:
+    """Base class of all contribution aggregators."""
+
+    #: Human-readable name used in experiment reports and the registry.
+    name: str = "base"
+    #: False when a sum all-reduce is enough (mean); True when the rule needs
+    #: every worker's individual vector at the aggregation point.
+    requires_individual_contributions: bool = True
+    #: Whether the rule has a non-trivial Byzantine breakdown point.
+    is_robust: bool = True
+
+    def __init__(self, n_byzantine: int = 0) -> None:
+        if n_byzantine < 0:
+            raise ValueError(f"n_byzantine must be non-negative, got {n_byzantine}")
+        self.n_byzantine = int(n_byzantine)
+        self.n_workers: int = 1
+        self._configured = False
+
+    # ------------------------------------------------------------------ #
+    def setup(self, n_workers: int) -> None:
+        """Bind the aggregator to a worker-group size."""
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if self.n_byzantine >= n_workers and n_workers > 1:
+            raise ValueError(
+                f"n_byzantine={self.n_byzantine} leaves no benign worker out of {n_workers}"
+            )
+        self.n_workers = int(n_workers)
+        self._configured = True
+        self._post_setup()
+
+    def _post_setup(self) -> None:
+        """Hook for subclasses validating their capacity (e.g. 2f < n)."""
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _as_matrix(contributions: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(contributions, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a (n_workers, m) matrix, got shape {matrix.shape}")
+        return matrix
+
+    def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Combine the ``(n_workers, m)`` contribution matrix into one vector.
+
+        ``indices`` carries the global gradient indices the ``m`` columns
+        refer to; stateful rules (centered clipping) use it to maintain a
+        reference point across iterations even though the index union
+        changes.  Stateless rules ignore it.
+        """
+        raise NotImplementedError
+
+    def aggregate_reduced(self, summed: np.ndarray) -> np.ndarray:
+        """Produce the update from an all-reduced sum (all-reduce path).
+
+        Only meaningful for rules with
+        ``requires_individual_contributions = False``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} needs individual contributions; use aggregate()"
+        )
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Qualitative properties for reports and the CLI ``list`` output."""
+        return {
+            "name": self.name,
+            "n_byzantine": self.n_byzantine,
+            "robust": self.is_robust,
+            "gather_based": self.requires_individual_contributions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_byzantine={self.n_byzantine})"

@@ -1,0 +1,75 @@
+"""Centered-clipping aggregation (Karimireddy et al., 2021)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import Aggregator
+
+__all__ = ["CenteredClippingAggregator"]
+
+
+class CenteredClippingAggregator(Aggregator):
+    """Clip each contribution to a ball of radius ``tau`` around a center.
+
+    Per iteration the center moves by the mean of the clipped differences:
+    ``c <- c + mean_i min(1, tau / ||x_i - c||) (x_i - c)``, repeated
+    ``clip_iterations`` times.  A Byzantine contribution can shift the
+    center by at most ``tau / n`` per inner step, which bounds its
+    influence.
+
+    The rule is stateful: the previous iteration's aggregate seeds the
+    center of the next one.  Because the trainer's index union changes
+    every iteration, the center is kept over the *full* gradient space and
+    projected onto the current union via ``indices``; when ``indices`` is
+    not supplied the coordinate-wise median of the current contributions
+    seeds the center instead.
+    """
+
+    name = "centered_clipping"
+
+    def __init__(self, n_byzantine: int = 0, tau: float = 1.0, clip_iterations: int = 3) -> None:
+        super().__init__(n_byzantine)
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        if clip_iterations <= 0:
+            raise ValueError(f"clip_iterations must be positive, got {clip_iterations}")
+        self.tau = float(tau)
+        self.clip_iterations = int(clip_iterations)
+        self._center: Optional[np.ndarray] = None
+        self._center_size: Optional[int] = None
+
+    def reset(self) -> None:
+        """Forget the persistent center (start of a fresh run)."""
+        self._center = None
+        self._center_size = None
+
+    def _seed_center(self, matrix: np.ndarray, indices: Optional[np.ndarray]) -> np.ndarray:
+        if indices is None:
+            return np.median(matrix, axis=0)
+        size = int(np.max(indices)) + 1 if indices.size else 0
+        if self._center is None or self._center_size is None or self._center_size < size:
+            grown = np.zeros(max(size, self._center_size or 0), dtype=np.float64)
+            if self._center is not None:
+                grown[: self._center.size] = self._center
+            self._center = grown
+            self._center_size = grown.size
+        return self._center[indices]
+
+    def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        matrix = self._as_matrix(contributions)
+        if matrix.shape[1] == 0:
+            return np.zeros(0, dtype=np.float64)
+        if indices is not None:
+            indices = np.asarray(indices, dtype=np.int64)
+        center = self._seed_center(matrix, indices)
+        for _ in range(self.clip_iterations):
+            diffs = matrix - center
+            norms = np.linalg.norm(diffs, axis=1)
+            scale = np.minimum(1.0, self.tau / np.maximum(norms, 1e-12))
+            center = center + (scale[:, None] * diffs).mean(axis=0)
+        if indices is not None and self._center is not None:
+            self._center[indices] = center
+        return center

@@ -1,0 +1,87 @@
+"""Krum and Multi-Krum aggregation (Blanchard et al., 2017)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import Aggregator
+
+__all__ = ["KrumAggregator", "MultiKrumAggregator"]
+
+
+def _validate_capacity(n_workers: int, n_byzantine: int) -> None:
+    """Krum scores need ``n - f - 2 >= 1`` genuine nearest neighbours.
+
+    Below that, colluding attackers (who sit at distance zero from each
+    other) win the score deterministically and the rule silently loses all
+    robustness, so reject the configuration instead of clamping.  The full
+    theoretical guarantee additionally needs ``n >= 2f + 3``.
+    """
+    if n_byzantine > 0 and n_workers < n_byzantine + 3:
+        raise ValueError(
+            f"krum needs n_workers >= n_byzantine + 3 "
+            f"(n_workers={n_workers}, n_byzantine={n_byzantine})"
+        )
+
+
+def _krum_scores(matrix: np.ndarray, n_byzantine: int) -> np.ndarray:
+    """Per-worker Krum score: sum of squared distances to the closest peers.
+
+    Each worker is scored by its ``n - f - 2`` nearest neighbours (clamped
+    to at least one so small groups still rank).  Lower is better.
+    """
+    n = matrix.shape[0]
+    sq_norms = np.einsum("ij,ij->i", matrix, matrix)
+    sq_dist = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (matrix @ matrix.T)
+    np.fill_diagonal(sq_dist, np.inf)
+    sq_dist = np.maximum(sq_dist, 0.0)
+    closest = min(max(1, n - n_byzantine - 2), n - 1)
+    partial = np.sort(sq_dist, axis=1)[:, :closest]
+    return partial.sum(axis=1)
+
+
+class KrumAggregator(Aggregator):
+    """Return the single contribution closest to its nearest peers."""
+
+    name = "krum"
+
+    def _post_setup(self) -> None:
+        _validate_capacity(self.n_workers, self.n_byzantine)
+
+    def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        matrix = self._as_matrix(contributions)
+        if matrix.shape[0] == 1:
+            return matrix[0].copy()
+        scores = _krum_scores(matrix, self.n_byzantine)
+        return matrix[int(np.argmin(scores))].copy()
+
+
+class MultiKrumAggregator(Aggregator):
+    """Average the ``n - f`` lowest-scoring contributions.
+
+    ``n_selected`` overrides the number of averaged candidates.
+    """
+
+    name = "multi_krum"
+
+    def __init__(self, n_byzantine: int = 0, n_selected: Optional[int] = None) -> None:
+        super().__init__(n_byzantine)
+        if n_selected is not None and n_selected <= 0:
+            raise ValueError(f"n_selected must be positive, got {n_selected}")
+        self.n_selected = int(n_selected) if n_selected is not None else None
+
+    def _post_setup(self) -> None:
+        _validate_capacity(self.n_workers, self.n_byzantine)
+
+    def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        matrix = self._as_matrix(contributions)
+        n = matrix.shape[0]
+        if n == 1:
+            return matrix[0].copy()
+        keep = self.n_selected if self.n_selected is not None else max(1, n - self.n_byzantine)
+        keep = min(keep, n)
+        scores = _krum_scores(matrix, self.n_byzantine)
+        chosen = np.argsort(scores, kind="stable")[:keep]
+        return matrix[chosen].mean(axis=0)

@@ -1,0 +1,32 @@
+"""Plain averaging -- the paper's Algorithm 1 aggregation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import Aggregator
+
+__all__ = ["MeanAggregator"]
+
+
+class MeanAggregator(Aggregator):
+    """Arithmetic mean of the contributions (not Byzantine-robust).
+
+    The mean of ``n`` vectors is ``(sum of the vectors) / n``, so it is the
+    one rule a sum all-reduce implements directly; the trainer therefore
+    keeps the paper's all-reduce for it and the benign trajectory stays
+    bit-identical to Algorithm 1.
+    """
+
+    name = "mean"
+    requires_individual_contributions = False
+    is_robust = False
+
+    def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        matrix = self._as_matrix(contributions)
+        return matrix.mean(axis=0)
+
+    def aggregate_reduced(self, summed: np.ndarray) -> np.ndarray:
+        return np.asarray(summed, dtype=np.float64) / self.n_workers

@@ -1,0 +1,28 @@
+"""Coordinate-wise median aggregation (Yin et al., 2018)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import Aggregator
+
+__all__ = ["MedianAggregator"]
+
+
+class MedianAggregator(Aggregator):
+    """Coordinate-wise median of the contributions.
+
+    Robust up to ``floor((n-1)/2)`` Byzantine workers per coordinate;
+    ``n_byzantine`` is accepted for interface uniformity but the rule does
+    not need it.
+    """
+
+    name = "median"
+
+    def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        matrix = self._as_matrix(contributions)
+        if matrix.shape[1] == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.median(matrix, axis=0)

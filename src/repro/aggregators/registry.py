@@ -1,0 +1,49 @@
+"""Factory for aggregators, mirroring :mod:`repro.sparsifiers.registry`."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.aggregators.base import Aggregator
+from repro.aggregators.centered_clipping import CenteredClippingAggregator
+from repro.aggregators.geometric_median import GeometricMedianAggregator
+from repro.aggregators.krum import KrumAggregator, MultiKrumAggregator
+from repro.aggregators.mean import MeanAggregator
+from repro.aggregators.median import MedianAggregator
+from repro.aggregators.trimmed_mean import TrimmedMeanAggregator
+
+__all__ = ["build_aggregator", "available_aggregators"]
+
+_BUILDERS: Dict[str, Callable[..., Aggregator]] = {
+    "mean": MeanAggregator,
+    "median": MedianAggregator,
+    "trimmed_mean": TrimmedMeanAggregator,
+    "krum": KrumAggregator,
+    "multi_krum": MultiKrumAggregator,
+    "geometric_median": GeometricMedianAggregator,
+    "centered_clipping": CenteredClippingAggregator,
+}
+
+
+def build_aggregator(name: str, n_byzantine: int = 0, **kwargs) -> Aggregator:
+    """Instantiate an aggregator by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_aggregators`.
+    n_byzantine:
+        Number of Byzantine workers the rule should tolerate.
+    kwargs:
+        Extra constructor arguments (e.g. ``tau=`` for
+        ``centered_clipping``, ``trim=`` for ``trimmed_mean``).
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown aggregator {name!r}; available: {available_aggregators()}")
+    return _BUILDERS[key](n_byzantine=n_byzantine, **kwargs)
+
+
+def available_aggregators():
+    """Sorted list of registered aggregator names."""
+    return sorted(_BUILDERS)

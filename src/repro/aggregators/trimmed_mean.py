@@ -1,0 +1,48 @@
+"""Coordinate-wise trimmed mean aggregation (Yin et al., 2018)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aggregators.base import Aggregator
+
+__all__ = ["TrimmedMeanAggregator"]
+
+
+class TrimmedMeanAggregator(Aggregator):
+    """Drop the ``b`` largest and ``b`` smallest values per coordinate.
+
+    ``b`` defaults to ``n_byzantine``; the rule needs ``n > 2b`` so at least
+    one value per coordinate survives the trim.
+    """
+
+    name = "trimmed_mean"
+
+    def __init__(self, n_byzantine: int = 0, trim: Optional[int] = None) -> None:
+        super().__init__(n_byzantine)
+        if trim is not None and trim < 0:
+            raise ValueError(f"trim must be non-negative, got {trim}")
+        self.trim = int(trim) if trim is not None else None
+
+    def _trim_amount(self) -> int:
+        return self.trim if self.trim is not None else self.n_byzantine
+
+    def _post_setup(self) -> None:
+        if self.n_workers > 1 and 2 * self._trim_amount() >= self.n_workers:
+            raise ValueError(
+                f"trimmed_mean needs n_workers > 2*trim "
+                f"(n_workers={self.n_workers}, trim={self._trim_amount()})"
+            )
+
+    def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        matrix = self._as_matrix(contributions)
+        n, m = matrix.shape
+        if m == 0:
+            return np.zeros(0, dtype=np.float64)
+        b = self._trim_amount()
+        if n == 1 or b == 0:
+            return matrix.mean(axis=0)
+        ordered = np.sort(matrix, axis=0)
+        return ordered[b : n - b].mean(axis=0)

@@ -1,0 +1,26 @@
+"""Simulated Byzantine workers for robustness studies.
+
+Companion package of :mod:`repro.aggregators`: an :class:`Adversary`
+corrupts a configurable subset of worker ranks -- either their training
+batches (label flipping) or their error-feedback accumulators (sign flip,
+Gaussian noise, ALIE) -- so experiments can measure how DEFT-style
+sparsification interacts with worker failures and attacks.
+"""
+
+from repro.attacks.alie import ALittleIsEnoughAttack
+from repro.attacks.base import Adversary, NoAttack
+from repro.attacks.gaussian_noise import GaussianNoiseAttack
+from repro.attacks.label_flip import LabelFlipAttack
+from repro.attacks.registry import available_attacks, build_attack
+from repro.attacks.sign_flip import SignFlipAttack
+
+__all__ = [
+    "Adversary",
+    "NoAttack",
+    "SignFlipAttack",
+    "GaussianNoiseAttack",
+    "LabelFlipAttack",
+    "ALittleIsEnoughAttack",
+    "build_attack",
+    "available_attacks",
+]

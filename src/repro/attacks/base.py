@@ -1,0 +1,111 @@
+"""Adversary interface: simulated Byzantine workers.
+
+An :class:`Adversary` controls the last ``n_byzantine`` ranks of the worker
+group (the last ranks, so rank 0 -- the leader/delegate of CLT-k and DEFT
+coordination -- stays benign).  It has two hooks into the training loop:
+
+``corrupt_batch(iteration, rank, batch)``
+    Data poisoning, applied before the local gradient computation.  Only
+    called when ``corrupts_data`` is True (label flipping).
+
+``corrupt_accumulators(iteration, accumulators)``
+    Gradient corruption, applied right after the error-feedback
+    accumulation ``acc_i = e_i + lr * grad_i`` and *before* the sparsifier
+    coordinates and selects.  A Byzantine worker thereby controls
+    everything it emits downstream: its selected indices and its
+    contributed values.  The default implementation calls
+    :meth:`corrupt_accumulator` once per Byzantine rank; colluding attacks
+    (ALIE) override the plural form to use cross-worker statistics.
+
+Both hooks must leave benign workers' objects untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Adversary", "NoAttack"]
+
+
+class Adversary:
+    """Base class of all simulated attacks."""
+
+    #: Registry / report name.
+    name: str = "base"
+    #: True when the attack poisons training batches rather than gradients.
+    corrupts_data: bool = False
+
+    def __init__(self, n_byzantine: int = 0) -> None:
+        if n_byzantine < 0:
+            raise ValueError(f"n_byzantine must be non-negative, got {n_byzantine}")
+        self.n_byzantine = int(n_byzantine)
+        self.n_workers: int = 1
+        self.n_gradients: int = 0
+        self.rng: np.random.Generator = np.random.default_rng(0)
+        self._configured = False
+
+    # ------------------------------------------------------------------ #
+    def setup(self, n_workers: int, n_gradients: int, seed: int = 0) -> None:
+        """Bind the adversary to a worker group and gradient size."""
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if self.n_byzantine >= n_workers and self.n_byzantine > 0:
+            raise ValueError(
+                f"n_byzantine={self.n_byzantine} leaves no benign worker out of {n_workers}"
+            )
+        self.n_workers = int(n_workers)
+        self.n_gradients = int(n_gradients)
+        self.rng = np.random.default_rng(np.random.SeedSequence([int(seed), 0xBAD]))
+        self._configured = True
+
+    @property
+    def byzantine_ranks(self) -> Tuple[int, ...]:
+        """The ranks this adversary controls (the last ``n_byzantine``)."""
+        return tuple(range(self.n_workers - self.n_byzantine, self.n_workers))
+
+    def is_byzantine(self, rank: int) -> bool:
+        return rank >= self.n_workers - self.n_byzantine
+
+    # ------------------------------------------------------------------ #
+    def corrupt_batch(self, iteration: int, rank: int, batch):
+        """Poison one worker's mini-batch (default: identity)."""
+        return batch
+
+    def corrupt_accumulator(self, iteration: int, rank: int, acc: np.ndarray) -> np.ndarray:
+        """Corrupt one Byzantine worker's accumulator (default: identity)."""
+        return acc
+
+    def corrupt_accumulators(
+        self, iteration: int, accumulators: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Corrupt the Byzantine subset of the per-worker accumulators."""
+        out = list(accumulators)
+        for rank in self.byzantine_ranks:
+            out[rank] = self.corrupt_accumulator(iteration, rank, out[rank])
+        return out
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "n_byzantine": self.n_byzantine,
+            "corrupts_data": self.corrupts_data,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_byzantine={self.n_byzantine})"
+
+
+class NoAttack(Adversary):
+    """The benign scenario: every hook is the identity.
+
+    ``n_byzantine`` is forced to zero so the benign trajectory is
+    bit-identical to a run without any adversary plumbing.
+    """
+
+    name = "none"
+
+    def __init__(self, n_byzantine: int = 0) -> None:
+        super().__init__(0)

@@ -1,0 +1,32 @@
+"""Gaussian-noise attack: Byzantine workers send random garbage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Adversary
+
+__all__ = ["GaussianNoiseAttack"]
+
+
+class GaussianNoiseAttack(Adversary):
+    """Byzantine workers add (or substitute) zero-mean Gaussian noise.
+
+    ``std`` is the noise standard deviation per coordinate; with
+    ``replace=True`` the accumulator is replaced by pure noise instead of
+    being perturbed.
+    """
+
+    name = "gaussian_noise"
+
+    def __init__(self, n_byzantine: int = 0, std: float = 0.1, replace: bool = False) -> None:
+        super().__init__(n_byzantine)
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        self.std = float(std)
+        self.replace = bool(replace)
+
+    def corrupt_accumulator(self, iteration: int, rank: int, acc: np.ndarray) -> np.ndarray:
+        acc = np.asarray(acc, dtype=np.float64)
+        noise = self.rng.normal(0.0, self.std, size=acc.shape)
+        return noise if self.replace else acc + noise

@@ -1,0 +1,45 @@
+"""Label-flipping attack: Byzantine workers train on permuted labels."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Adversary
+
+__all__ = ["LabelFlipAttack"]
+
+
+class LabelFlipAttack(Adversary):
+    """Byzantine workers map each label ``y`` to ``(L - 1) - y``.
+
+    The last array of the batch tuple is treated as the target (labels for
+    CV, next tokens for LM, implicit-feedback labels for REC).  ``L``
+    defaults to ``max(y) + 1`` within the batch when ``num_labels`` is not
+    given; for binary implicit feedback this reduces to ``1 - y``.
+
+    Unlike the gradient attacks this is *data* poisoning: the corrupted
+    worker still runs an honest forward/backward pass, so its gradient is a
+    plausible-looking but harmful direction that distance-based defences
+    find harder to filter.
+    """
+
+    name = "label_flip"
+    corrupts_data = True
+
+    def __init__(self, n_byzantine: int = 0, num_labels: Optional[int] = None) -> None:
+        super().__init__(n_byzantine)
+        if num_labels is not None and num_labels < 2:
+            raise ValueError(f"num_labels must be at least 2, got {num_labels}")
+        self.num_labels = int(num_labels) if num_labels is not None else None
+
+    def corrupt_batch(self, iteration: int, rank: int, batch):
+        if not self.is_byzantine(rank):
+            return batch
+        parts = list(batch)
+        labels = np.asarray(parts[-1])
+        bound = self.num_labels if self.num_labels is not None else int(np.max(labels)) + 1 if labels.size else 1
+        flipped = ((bound - 1) - labels).astype(labels.dtype)
+        parts[-1] = flipped
+        return tuple(parts)

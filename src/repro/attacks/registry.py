@@ -1,0 +1,46 @@
+"""Factory for attacks, mirroring :mod:`repro.aggregators.registry`."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.attacks.alie import ALittleIsEnoughAttack
+from repro.attacks.base import Adversary, NoAttack
+from repro.attacks.gaussian_noise import GaussianNoiseAttack
+from repro.attacks.label_flip import LabelFlipAttack
+from repro.attacks.sign_flip import SignFlipAttack
+
+__all__ = ["build_attack", "available_attacks"]
+
+_BUILDERS: Dict[str, Callable[..., Adversary]] = {
+    "none": NoAttack,
+    "sign_flip": SignFlipAttack,
+    "gaussian_noise": GaussianNoiseAttack,
+    "label_flip": LabelFlipAttack,
+    "alie": ALittleIsEnoughAttack,
+}
+
+
+def build_attack(name: str, n_byzantine: int = 0, **kwargs) -> Adversary:
+    """Instantiate an attack by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_attacks`.
+    n_byzantine:
+        Number of worker ranks the adversary controls (the last ranks of
+        the group).  Ignored by ``none``.
+    kwargs:
+        Extra constructor arguments (e.g. ``scale=`` for ``sign_flip``,
+        ``std=`` for ``gaussian_noise``).
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown attack {name!r}; available: {available_attacks()}")
+    return _BUILDERS[key](n_byzantine=n_byzantine, **kwargs)
+
+
+def available_attacks():
+    """Sorted list of registered attack names."""
+    return sorted(_BUILDERS)

@@ -1,0 +1,29 @@
+"""Sign-flipping attack: Byzantine workers send the negated accumulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Adversary
+
+__all__ = ["SignFlipAttack"]
+
+
+class SignFlipAttack(Adversary):
+    """Byzantine workers contribute ``-scale * acc`` instead of ``acc``.
+
+    With ``scale >= 1`` each flipped worker cancels (or overpowers) one
+    benign worker in the mean, driving the model update away from the
+    descent direction.
+    """
+
+    name = "sign_flip"
+
+    def __init__(self, n_byzantine: int = 0, scale: float = 3.0) -> None:
+        super().__init__(n_byzantine)
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def corrupt_accumulator(self, iteration: int, rank: int, acc: np.ndarray) -> np.ndarray:
+        return -self.scale * np.asarray(acc, dtype=np.float64)

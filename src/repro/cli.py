@@ -2,9 +2,12 @@
 
 Usage::
 
-    python -m repro list                       # workloads, sparsifiers, experiments
+    python -m repro list                       # workloads, sparsifiers, aggregators, ...
     python -m repro train --workload lm --sparsifier deft --density 0.01 --workers 4
+    python -m repro train --workload cv --sparsifier deft --aggregator krum \
+                          --attack sign_flip --n-byzantine 1
     python -m repro experiment fig09 --scale smoke
+    python -m repro experiment robustness --scale smoke
     python -m repro sweep --scale smoke        # every figure/table in one go
 
 Each sub-command prints a plain-text report; the ``experiment`` sub-command
@@ -17,6 +20,8 @@ import argparse
 import sys
 from typing import Dict, Optional
 
+from repro.aggregators import available_aggregators
+from repro.attacks import available_attacks
 from repro.experiments import (
     fig01_buildup,
     fig03_convergence,
@@ -27,6 +32,7 @@ from repro.experiments import (
     fig08_density_sweep,
     fig09_speedup,
     fig10_scaleout,
+    robustness_grid,
     table1_properties,
     table2_workloads,
 )
@@ -49,6 +55,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig08": (fig08_density_sweep, "Figure 8: DEFT convergence by density"),
     "fig09": (fig09_speedup, "Figure 9: selection speedup by scale-out"),
     "fig10": (fig10_scaleout, "Figure 10: DEFT convergence by scale-out"),
+    "robustness": (robustness_grid, "Robustness grid: attack x aggregator x sparsifier degradation"),
 }
 
 
@@ -67,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=None)
     train.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--aggregator", choices=available_aggregators(), default="mean",
+                       help="aggregation rule for the per-worker contributions")
+    train.add_argument("--attack", choices=available_attacks(), default="none",
+                       help="attack corrupting the Byzantine workers")
+    train.add_argument("--n-byzantine", type=int, default=0,
+                       help="number of Byzantine worker ranks (the last ranks)")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper figure/table")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -85,6 +98,12 @@ def _command_list() -> int:
     print("\nSparsifiers:")
     for name in available_sparsifiers():
         print(f"  {name}")
+    print("\nAggregators:")
+    for name in available_aggregators():
+        print(f"  {name}")
+    print("\nAttacks:")
+    for name in available_attacks():
+        print(f"  {name}")
     print("\nExperiments:")
     for name, (_, description) in sorted(EXPERIMENTS.items()):
         print(f"  {name:<7} {description}")
@@ -92,16 +111,28 @@ def _command_list() -> int:
 
 
 def _command_train(args) -> int:
-    result = run_training(
-        args.workload,
-        args.sparsifier,
-        density=args.density,
-        n_workers=args.workers,
-        scale=args.scale,
-        epochs=args.epochs,
-        seed=args.seed,
-    )
-    print(f"Trained {args.workload} with {args.sparsifier} on {args.workers} simulated workers")
+    try:
+        result = run_training(
+            args.workload,
+            args.sparsifier,
+            density=args.density,
+            n_workers=args.workers,
+            scale=args.scale,
+            epochs=args.epochs,
+            seed=args.seed,
+            aggregator=args.aggregator,
+            attack=args.attack,
+            n_byzantine=args.n_byzantine,
+        )
+    except (ValueError, KeyError) as exc:
+        # Invalid configuration (e.g. n_byzantine >= workers, trimmed_mean
+        # over capacity, density out of range): report cleanly, exit 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenario = ""
+    if args.attack != "none" or args.aggregator != "mean":
+        scenario = f" [aggregator={args.aggregator}, attack={args.attack}, f={args.n_byzantine}]"
+    print(f"Trained {args.workload} with {args.sparsifier} on {args.workers} simulated workers{scenario}")
     for key, value in sorted(result.final_metrics.items()):
         print(f"  final {key}: {value:.4f}")
     print(f"  mean actual density: {result.mean_density():.4f}")

@@ -27,6 +27,7 @@ fig07           Figure 7  (training-time breakdown)
 fig08           Figure 8  (DEFT convergence vs density)
 fig09           Figure 9  (selection speedup by scale-out)
 fig10           Figure 10 (DEFT convergence by scale-out)
+robustness      Beyond the paper: attack x aggregator x sparsifier
 ==============  ====================================================
 """
 
@@ -41,6 +42,7 @@ from repro.experiments import (
     fig08_density_sweep,
     fig09_speedup,
     fig10_scaleout,
+    robustness_grid,
     table1_properties,
     table2_workloads,
 )
@@ -59,4 +61,5 @@ __all__ = [
     "fig08_density_sweep",
     "fig09_speedup",
     "fig10_scaleout",
+    "robustness_grid",
 ]

@@ -26,12 +26,19 @@ def run_training(
     evaluate_each_epoch: bool = True,
     sparsifier_kwargs: Optional[dict] = None,
     task: Optional[Task] = None,
+    aggregator: str = "mean",
+    aggregator_kwargs: Optional[dict] = None,
+    attack: str = "none",
+    attack_kwargs: Optional[dict] = None,
+    n_byzantine: int = 0,
 ) -> TrainingResult:
     """Train one (workload, sparsifier) pair and return its result.
 
     All arguments default to the workload/scale presets of
     :mod:`repro.experiments.config`; ``task`` can be passed to reuse an
     already-built dataset across several runs of the same experiment.
+    ``aggregator``, ``attack`` and ``n_byzantine`` select the robustness
+    scenario (see :mod:`repro.aggregators` and :mod:`repro.attacks`).
     """
     density = expcfg.default_density(workload) if density is None else float(density)
     epochs = expcfg.default_epochs(workload, scale) if epochs is None else int(epochs)
@@ -48,6 +55,11 @@ def run_training(
         seed=seed,
         max_iterations_per_epoch=max_iterations_per_epoch,
         evaluate_each_epoch=evaluate_each_epoch,
+        aggregator=aggregator,
+        aggregator_kwargs=aggregator_kwargs or {},
+        attack=attack,
+        attack_kwargs=attack_kwargs or {},
+        n_byzantine=n_byzantine,
     )
     trainer = DistributedTrainer(task, sparsifier, training_config)
     return trainer.train()

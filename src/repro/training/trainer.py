@@ -17,10 +17,20 @@ Per iteration (paper's Algorithm 1):
    broadcast, DEFT allocation broadcast),
 4. every worker selects indices from its own ``acc_i``,
 5. the index sets are all-gathered and their union formed,
-6. each worker contributes ``acc_i[union]``; the contributions are
-   all-reduced (sum) and the model is updated with the average,
+6. each worker contributes ``acc_i[union]``; the contributions are combined
+   by the configured :class:`~repro.aggregators.Aggregator` and the model
+   is updated with the result.  The paper's plain mean uses a sum
+   all-reduce exactly as in Algorithm 1; robust rules (median, Krum, ...)
+   need every worker's vector at the aggregation point, so they all-gather
+   the contributions instead,
 7. the transmitted entries of ``acc_i`` are zeroed and the rest becomes
    ``e_{i,t+1}``.
+
+An optional :class:`~repro.attacks.Adversary` corrupts a configurable
+subset of worker ranks: data poisoning hooks in before the local gradient
+computation, gradient attacks right after the error-feedback accumulation
+(step 2) -- so a Byzantine worker controls everything it emits downstream,
+including the indices it selects.
 
 The trainer records, per iteration: training loss, actual density, error
 norm, selection/partition/communication times (Figure 1, 4, 5, 6, 7 series),
@@ -35,6 +45,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.aggregators.base import Aggregator
+from repro.aggregators.registry import build_aggregator
+from repro.attacks.base import Adversary
+from repro.attacks.registry import build_attack
 from repro.comm.cost_model import AlphaBetaModel
 from repro.comm.simulated import SimulatedBackend
 from repro.data.dataloader import DataLoader
@@ -69,6 +83,16 @@ class TrainingConfig:
     evaluate_each_epoch: bool = True
     #: Optional learning-rate schedule overriding the constant ``lr``.
     lr_schedule: Optional[LRSchedule] = None
+    #: Aggregation rule applied to the per-worker contributions (step 6).
+    aggregator: str = "mean"
+    #: Extra constructor arguments for the aggregator.
+    aggregator_kwargs: Dict = field(default_factory=dict)
+    #: Attack corrupting the Byzantine subset of workers ("none" = benign).
+    attack: str = "none"
+    #: Extra constructor arguments for the attack.
+    attack_kwargs: Dict = field(default_factory=dict)
+    #: Number of Byzantine worker ranks (the last ranks of the group).
+    n_byzantine: int = 0
 
     def schedule(self) -> LRSchedule:
         return self.lr_schedule if self.lr_schedule is not None else ConstantLR(self.lr)
@@ -105,6 +129,8 @@ class DistributedTrainer:
         backend: Optional[SimulatedBackend] = None,
         cost_model: Optional[AlphaBetaModel] = None,
         run_name: Optional[str] = None,
+        aggregator: Optional[Aggregator] = None,
+        adversary: Optional[Adversary] = None,
     ) -> None:
         self.task = task
         self.sparsifier = sparsifier
@@ -113,12 +139,24 @@ class DistributedTrainer:
         if self.backend.n_workers != config.n_workers:
             raise ValueError("backend worker count does not match the training configuration")
         self.cost_model = cost_model if cost_model is not None else AlphaBetaModel()
+        self.aggregator = (
+            aggregator
+            if aggregator is not None
+            else build_aggregator(config.aggregator, n_byzantine=config.n_byzantine, **config.aggregator_kwargs)
+        )
+        self.adversary = (
+            adversary
+            if adversary is not None
+            else build_attack(config.attack, n_byzantine=config.n_byzantine, **config.attack_kwargs)
+        )
 
         seeds = SeedSequenceFactory(config.seed)
         self.model = task.build_model(rng=seeds.rng("model"))
         self.layout = GradientLayout.from_model(self.model)
         self.n_gradients = self.layout.total_size
         self.sparsifier.setup(self.layout, config.n_workers, seed=config.seed)
+        self.aggregator.setup(config.n_workers)
+        self.adversary.setup(config.n_workers, self.n_gradients, seed=config.seed)
 
         self.optimizer = SGD(self.model, momentum=config.momentum, weight_decay=config.weight_decay)
         self.memories = [ErrorFeedbackMemory(self.n_gradients) for _ in range(config.n_workers)]
@@ -135,6 +173,9 @@ class DistributedTrainer:
             batch_size=config.batch_size,
             n_gradients=self.n_gradients,
             seed=config.seed,
+            aggregator=self.aggregator.name,
+            attack=self.adversary.name,
+            n_byzantine=self.adversary.n_byzantine,
         )
         self.timing = TimingAccumulator()
         self.iteration = 0
@@ -164,6 +205,11 @@ class DistributedTrainer:
         accumulators: List[np.ndarray] = []
 
         # 1-2. Local gradients and error-feedback accumulation.
+        if self.adversary.corrupts_data:
+            batches = [
+                self.adversary.corrupt_batch(self.iteration, rank, batches[rank])
+                for rank in range(n_workers)
+            ]
         for rank in range(n_workers):
             start = time.perf_counter()
             self.model.zero_grad()
@@ -174,6 +220,15 @@ class DistributedTrainer:
             grad_flat = flatten_gradients(self.model)
             accumulators.append(self.memories[rank].accumulate(grad_flat, lr))
         self.model.zero_grad()
+
+        # Gradient attacks corrupt the Byzantine accumulators before the
+        # sparsifier coordinates/selects on them.  The error-feedback update
+        # (step 7) keeps the honest accumulators: a Byzantine worker lies on
+        # the wire, but feeding the corruption back into its own memory
+        # would compound multiplicative attacks into overflow.
+        honest_accumulators = accumulators
+        if self.adversary.n_byzantine:
+            accumulators = self.adversary.corrupt_accumulators(self.iteration, accumulators)
 
         # 3. Optional coordination (CLT-k leader selection, DEFT allocation).
         comm_records_before = len(self.backend.meter.records)
@@ -201,17 +256,24 @@ class DistributedTrainer:
         gathered = self.backend.allgather(per_worker_indices, tag="indices")
         global_indices = np.unique(gathered[0].astype(np.int64))
 
-        # 6. All-reduce of the selected values, then the model update.
+        # 6. Aggregation of the selected values, then the model update.  The
+        # mean keeps the paper's sum all-reduce; robust rules need each
+        # worker's vector and use the gather-based path.
         contributions = [acc[global_indices] for acc in accumulators]
-        reduced = self.backend.allreduce(contributions, tag="values")
-        mean_contribution = reduced[0] / n_workers
+        if self.aggregator.requires_individual_contributions:
+            gathered = self.backend.allgather(contributions, tag="values")
+            matrix = gathered[0].reshape(n_workers, global_indices.shape[0])
+            aggregated = self.aggregator.aggregate(matrix, indices=global_indices)
+        else:
+            reduced = self.backend.allreduce(contributions, tag="values")
+            aggregated = self.aggregator.aggregate_reduced(reduced[0])
         update = np.zeros(self.n_gradients, dtype=np.float64)
-        update[global_indices] = mean_contribution
+        update[global_indices] = aggregated
         self.optimizer.apply_update(update)
 
         # 7. Error-feedback update.
         for rank in range(n_workers):
-            self.memories[rank].update(accumulators[rank], global_indices)
+            self.memories[rank].update(honest_accumulators[rank], global_indices)
 
         # Modelled communication time from the collectives of this iteration.
         communication_seconds = self._model_communication(comm_records_before)
@@ -260,7 +322,7 @@ class DistributedTrainer:
                 seconds += self.cost_model.allgather_cost(n, record.max_sent).total
             elif record.op == "allreduce":
                 payload = record.received_per_rank[0] if record.received_per_rank else 0
-                seconds += self.cost_model.allgather_cost(n, payload).total
+                seconds += self.cost_model.allreduce_cost(n, payload).total
             elif record.op == "broadcast":
                 payload = record.received_per_rank[0] if record.received_per_rank else 0
                 seconds += self.cost_model.broadcast_cost(n, payload).total

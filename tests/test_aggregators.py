@@ -1,0 +1,228 @@
+"""Unit tests for the robust-aggregation rules."""
+
+import numpy as np
+import pytest
+
+from repro.aggregators import (
+    Aggregator,
+    CenteredClippingAggregator,
+    GeometricMedianAggregator,
+    KrumAggregator,
+    MeanAggregator,
+    MedianAggregator,
+    MultiKrumAggregator,
+    TrimmedMeanAggregator,
+    available_aggregators,
+    build_aggregator,
+)
+
+
+def make(name, n_workers=8, n_byzantine=0, **kwargs):
+    agg = build_aggregator(name, n_byzantine=n_byzantine, **kwargs)
+    agg.setup(n_workers)
+    return agg
+
+
+def benign_with_outliers(rng, n_benign=6, n_byzantine=2, m=64, magnitude=100.0):
+    """Benign rows ~N(1, 0.1) plus large adversarial rows."""
+    benign = 1.0 + 0.1 * rng.standard_normal((n_benign, m))
+    outliers = magnitude * np.ones((n_byzantine, m))
+    return np.concatenate([benign, outliers], axis=0), benign
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_aggregators() == [
+            "centered_clipping",
+            "geometric_median",
+            "krum",
+            "mean",
+            "median",
+            "multi_krum",
+            "trimmed_mean",
+        ]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_aggregator("nonexistent")
+
+    def test_case_insensitive(self):
+        assert isinstance(build_aggregator("KRUM"), KrumAggregator)
+
+    def test_kwargs_forwarded(self):
+        agg = build_aggregator("centered_clipping", tau=0.5, clip_iterations=2)
+        assert agg.tau == 0.5
+        assert agg.clip_iterations == 2
+
+    def test_negative_byzantine_rejected(self):
+        with pytest.raises(ValueError):
+            build_aggregator("mean", n_byzantine=-1)
+
+
+class TestMean:
+    def test_matches_numpy_mean(self, rng):
+        matrix = rng.standard_normal((4, 32))
+        agg = make("mean", n_workers=4)
+        np.testing.assert_allclose(agg.aggregate(matrix), matrix.mean(axis=0))
+
+    def test_reduced_path_matches_matrix_path(self, rng):
+        matrix = rng.standard_normal((4, 32))
+        agg = make("mean", n_workers=4)
+        np.testing.assert_allclose(agg.aggregate_reduced(matrix.sum(axis=0)), agg.aggregate(matrix))
+
+    def test_uses_allreduce_path(self):
+        assert MeanAggregator().requires_individual_contributions is False
+        assert MedianAggregator().requires_individual_contributions is True
+
+    def test_not_robust_flag(self):
+        assert MeanAggregator().is_robust is False
+        assert KrumAggregator().is_robust is True
+
+
+class TestMedian:
+    def test_ignores_outliers(self, rng):
+        matrix, benign = benign_with_outliers(rng)
+        agg = make("median", n_byzantine=2)
+        result = agg.aggregate(matrix)
+        assert np.all(result <= benign.max(axis=0))
+        assert np.all(result >= benign.min(axis=0))
+
+    def test_mean_shifted_by_outliers(self, rng):
+        """Contrast case: the plain mean is dominated by the outliers."""
+        matrix, benign = benign_with_outliers(rng)
+        shifted = make("mean").aggregate(matrix)
+        assert np.all(shifted > benign.max(axis=0))
+
+
+class TestTrimmedMean:
+    def test_trims_outliers(self, rng):
+        matrix, benign = benign_with_outliers(rng, n_byzantine=2)
+        agg = make("trimmed_mean", n_byzantine=2)
+        result = agg.aggregate(matrix)
+        assert np.all(result <= benign.max(axis=0) + 1e-12)
+
+    def test_zero_trim_equals_mean(self, rng):
+        matrix = rng.standard_normal((5, 16))
+        np.testing.assert_allclose(
+            make("trimmed_mean", n_workers=5).aggregate(matrix), matrix.mean(axis=0)
+        )
+
+    def test_capacity_validated_at_setup(self):
+        agg = build_aggregator("trimmed_mean", n_byzantine=2)
+        with pytest.raises(ValueError):
+            agg.setup(4)
+
+    def test_explicit_trim_overrides_byzantine(self, rng):
+        matrix = np.concatenate([np.zeros((4, 8)), 50.0 * np.ones((1, 8))], axis=0)
+        agg = make("trimmed_mean", n_workers=5, trim=1)
+        np.testing.assert_allclose(agg.aggregate(matrix), np.zeros(8))
+
+
+class TestKrum:
+    def test_selects_a_benign_row(self, rng):
+        matrix, benign = benign_with_outliers(rng)
+        result = make("krum", n_byzantine=2).aggregate(matrix)
+        assert any(np.allclose(result, row) for row in benign)
+
+    def test_multi_krum_averages_benign_rows(self, rng):
+        matrix, benign = benign_with_outliers(rng)
+        result = make("multi_krum", n_byzantine=2).aggregate(matrix)
+        assert np.all(result <= benign.max(axis=0))
+        assert np.all(result >= benign.min(axis=0))
+
+    def test_multi_krum_n_selected(self, rng):
+        matrix = rng.standard_normal((6, 16))
+        full = make("multi_krum", n_workers=6, n_selected=6).aggregate(matrix)
+        np.testing.assert_allclose(full, matrix.mean(axis=0))
+
+    def test_identical_rows_are_fixed_point(self):
+        matrix = np.tile(np.arange(8.0), (5, 1))
+        np.testing.assert_allclose(make("krum", n_workers=5).aggregate(matrix), np.arange(8.0))
+
+    @pytest.mark.parametrize("name", ["krum", "multi_krum"])
+    def test_capacity_validated_at_setup(self, name):
+        """n=4, f=2 leaves no genuine nearest neighbour; colluding attackers
+        would win the score deterministically, so the config is rejected."""
+        agg = build_aggregator(name, n_byzantine=2)
+        with pytest.raises(ValueError):
+            agg.setup(4)
+
+    def test_minimum_viable_capacity_accepted(self):
+        make("krum", n_workers=4, n_byzantine=1)
+
+
+class TestGeometricMedian:
+    def test_resists_outliers(self, rng):
+        matrix, benign = benign_with_outliers(rng)
+        result = make("geometric_median", n_byzantine=2).aggregate(matrix)
+        # The geometric median stays near the benign cluster center (~1.0),
+        # far below the outlier magnitude (100).
+        assert np.all(result < 2.0)
+
+    def test_exact_for_collinear_points(self):
+        matrix = np.array([[0.0], [1.0], [10.0]])
+        result = make("geometric_median", n_workers=3).aggregate(matrix)
+        assert result[0] == pytest.approx(1.0, abs=1e-3)
+
+
+class TestCenteredClipping:
+    def test_bounded_influence(self, rng):
+        matrix, benign = benign_with_outliers(rng)
+        agg = make("centered_clipping", n_byzantine=2, tau=1.0)
+        result = agg.aggregate(matrix)
+        # Each of the two outlier rows can move the center by at most
+        # tau/n per inner iteration.
+        center = np.median(matrix, axis=0)
+        bound = 2 * agg.clip_iterations * agg.tau / matrix.shape[0]
+        assert np.linalg.norm(result - center) <= bound + np.linalg.norm(benign.std(axis=0)) + 1.0
+
+    def test_persistent_center_across_calls(self, rng):
+        agg = make("centered_clipping", n_workers=2, tau=100.0)
+        first = agg.aggregate(rng.standard_normal((2, 4)), indices=np.arange(4))
+        np.testing.assert_allclose(agg._center[:4], first)
+        agg.aggregate(rng.standard_normal((2, 2)), indices=np.array([1, 3]))
+        # Untouched coordinates keep their value from the first call.
+        np.testing.assert_allclose(agg._center[[0, 2]], first[[0, 2]])
+
+    def test_reset_clears_center(self, rng):
+        agg = make("centered_clipping", n_workers=2)
+        agg.aggregate(rng.standard_normal((2, 4)), indices=np.arange(4))
+        agg.reset()
+        assert agg._center is None
+
+
+class TestDegenerateCases:
+    @pytest.mark.parametrize("name", available_aggregators())
+    def test_empty_union(self, name):
+        agg = make(name, n_workers=4, n_byzantine=1)
+        result = agg.aggregate(np.zeros((4, 0)))
+        assert result.shape == (0,)
+
+    @pytest.mark.parametrize("name", available_aggregators())
+    def test_single_worker_returns_row(self, name, rng):
+        row = rng.standard_normal((1, 16))
+        agg = make(name, n_workers=1)
+        if name == "centered_clipping":
+            # Clipping around the row's own median is not the identity;
+            # just require a finite result of the right shape.
+            assert np.isfinite(agg.aggregate(row)).all()
+        else:
+            np.testing.assert_allclose(agg.aggregate(row), row[0])
+
+    @pytest.mark.parametrize("name", available_aggregators())
+    def test_benign_consensus_recovered(self, name):
+        """When every worker sends the same vector, every rule returns it."""
+        matrix = np.tile(np.linspace(-1, 1, 12), (6, 1))
+        agg = make(name, n_workers=6, n_byzantine=1)
+        np.testing.assert_allclose(agg.aggregate(matrix), matrix[0], atol=1e-9)
+
+    def test_all_byzantine_rejected_at_setup(self):
+        agg = build_aggregator("krum", n_byzantine=4)
+        with pytest.raises(ValueError):
+            agg.setup(4)
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Aggregator().aggregate(np.zeros((2, 2)))
+        with pytest.raises(NotImplementedError):
+            MedianAggregator().aggregate_reduced(np.zeros(2))

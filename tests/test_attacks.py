@@ -1,0 +1,174 @@
+"""Unit tests for the simulated Byzantine attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ALittleIsEnoughAttack,
+    Adversary,
+    NoAttack,
+    available_attacks,
+    build_attack,
+)
+from repro.attacks.alie import _normal_quantile
+
+
+def make(name, n_workers=4, n_byzantine=1, n_gradients=32, seed=0, **kwargs):
+    attack = build_attack(name, n_byzantine=n_byzantine, **kwargs)
+    attack.setup(n_workers, n_gradients, seed=seed)
+    return attack
+
+
+def accumulators(rng, n_workers=4, n_gradients=32):
+    return [rng.standard_normal(n_gradients) for _ in range(n_workers)]
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_attacks() == ["alie", "gaussian_noise", "label_flip", "none", "sign_flip"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_attack("nonexistent")
+
+    def test_kwargs_forwarded(self):
+        assert build_attack("sign_flip", scale=2.0).scale == 2.0
+
+
+class TestBase:
+    def test_byzantine_ranks_are_last(self):
+        attack = make("sign_flip", n_workers=5, n_byzantine=2)
+        assert attack.byzantine_ranks == (3, 4)
+        assert not attack.is_byzantine(0)
+        assert attack.is_byzantine(4)
+
+    def test_all_byzantine_rejected(self):
+        attack = build_attack("sign_flip", n_byzantine=4)
+        with pytest.raises(ValueError):
+            attack.setup(4, 32)
+
+    def test_none_forces_zero_byzantine(self):
+        attack = make("none", n_byzantine=3)
+        assert attack.n_byzantine == 0
+        assert attack.byzantine_ranks == ()
+
+    def test_none_hooks_are_identity(self, rng):
+        attack = make("none")
+        accs = accumulators(rng)
+        out = attack.corrupt_accumulators(0, accs)
+        for a, b in zip(accs, out):
+            assert a is b
+        batch = (np.arange(4), np.arange(4))
+        assert attack.corrupt_batch(0, 0, batch) is batch
+
+
+class TestSignFlip:
+    def test_byzantine_accumulators_negated(self, rng):
+        attack = make("sign_flip", n_byzantine=2, scale=3.0)
+        accs = accumulators(rng)
+        out = attack.corrupt_accumulators(0, accs)
+        np.testing.assert_allclose(out[2], -3.0 * accs[2])
+        np.testing.assert_allclose(out[3], -3.0 * accs[3])
+
+    def test_benign_accumulators_untouched(self, rng):
+        attack = make("sign_flip", n_byzantine=1)
+        accs = accumulators(rng)
+        out = attack.corrupt_accumulators(0, accs)
+        assert out[0] is accs[0]
+        assert out[1] is accs[1]
+        assert out[2] is accs[2]
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_attack("sign_flip", scale=0.0)
+
+
+class TestGaussianNoise:
+    def test_noise_added_to_byzantine_rank(self, rng):
+        attack = make("gaussian_noise", n_byzantine=1, std=0.5)
+        accs = accumulators(rng)
+        out = attack.corrupt_accumulators(0, accs)
+        assert not np.allclose(out[3], accs[3])
+        assert np.allclose(out[0], accs[0])
+
+    def test_replace_mode_discards_accumulator(self, rng):
+        attack = make("gaussian_noise", n_byzantine=1, std=1.0, replace=True)
+        acc = 1e6 * np.ones(32)
+        out = attack.corrupt_accumulator(0, 3, acc)
+        assert np.abs(out).max() < 1e3
+
+    def test_deterministic_under_seed(self, rng):
+        accs = accumulators(rng)
+        out_a = make("gaussian_noise", seed=7).corrupt_accumulators(0, [a.copy() for a in accs])
+        out_b = make("gaussian_noise", seed=7).corrupt_accumulators(0, [a.copy() for a in accs])
+        np.testing.assert_allclose(out_a[3], out_b[3])
+
+
+class TestLabelFlip:
+    def test_flips_byzantine_labels_only(self):
+        attack = make("label_flip", n_workers=2, n_byzantine=1, num_labels=10)
+        batch = (np.zeros((4, 3)), np.array([0, 3, 9, 5]))
+        benign = attack.corrupt_batch(0, 0, batch)
+        assert benign is batch
+        flipped = attack.corrupt_batch(0, 1, batch)
+        np.testing.assert_array_equal(flipped[1], [9, 6, 0, 4])
+
+    def test_dtype_preserved(self):
+        attack = make("label_flip", n_workers=2, n_byzantine=1, num_labels=4)
+        labels = np.array([0, 1, 2, 3], dtype=np.int32)
+        flipped = attack.corrupt_batch(0, 1, (np.zeros(4), labels))
+        assert flipped[1].dtype == np.int32
+
+    def test_bound_inferred_from_batch(self):
+        attack = make("label_flip", n_workers=2, n_byzantine=1)
+        flipped = attack.corrupt_batch(0, 1, (np.zeros(3), np.array([0, 1, 2])))
+        np.testing.assert_array_equal(flipped[1], [2, 1, 0])
+
+    def test_corrupts_data_flag(self):
+        assert build_attack("label_flip").corrupts_data is True
+        assert build_attack("sign_flip").corrupts_data is False
+
+
+class TestALIE:
+    def test_normal_quantile_matches_known_values(self):
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-8)
+        assert _normal_quantile(0.8413447) == pytest.approx(1.0, abs=1e-4)
+        assert _normal_quantile(0.9772499) == pytest.approx(2.0, abs=1e-4)
+
+    def test_byzantine_send_mean_minus_z_std(self, rng):
+        attack = make("alie", n_workers=6, n_byzantine=2, z=1.5)
+        accs = accumulators(rng, n_workers=6)
+        out = attack.corrupt_accumulators(0, accs)
+        benign = np.stack(accs[:4])
+        expected = benign.mean(axis=0) - 1.5 * benign.std(axis=0)
+        np.testing.assert_allclose(out[4], expected)
+        np.testing.assert_allclose(out[5], expected)
+
+    def test_perturbation_within_benign_spread(self, rng):
+        """The default z keeps the corruption inside the benign min/max on
+        most coordinates -- that is the 'little is enough' stealth property."""
+        attack = make("alie", n_workers=10, n_byzantine=2)
+        accs = accumulators(rng, n_workers=10, n_gradients=512)
+        out = attack.corrupt_accumulators(0, accs)
+        benign = np.stack(accs[:8])
+        inside = (out[9] >= benign.min(axis=0)) & (out[9] <= benign.max(axis=0))
+        assert inside.mean() > 0.8
+
+    def test_zero_byzantine_is_identity(self, rng):
+        attack = make("alie", n_byzantine=0)
+        accs = accumulators(rng)
+        out = attack.corrupt_accumulators(0, accs)
+        assert all(a is b for a, b in zip(accs, out))
+
+
+class TestCustomAdversary:
+    def test_default_hooks_identity(self, rng):
+        adv = Adversary(n_byzantine=1)
+        adv.setup(4, 32)
+        accs = accumulators(rng)
+        out = adv.corrupt_accumulators(0, accs)
+        assert all(a is b for a, b in zip(accs, out))
+
+    def test_no_attack_is_adversary(self):
+        assert isinstance(NoAttack(), Adversary)
+        assert isinstance(make("alie"), ALittleIsEnoughAttack)

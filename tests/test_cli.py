@@ -13,6 +13,14 @@ class TestList:
         assert "fig09" in out
         assert "Computer vision" in out
 
+    def test_list_prints_aggregators_and_attacks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "krum" in out
+        assert "centered_clipping" in out
+        assert "sign_flip" in out
+        assert "robustness" in out
+
 
 class TestTrain:
     def test_train_smoke(self, capsys):
@@ -29,12 +37,41 @@ class TestTrain:
         with pytest.raises(SystemExit):
             main(["train", "--sparsifier", "nonexistent"])
 
+    def test_train_with_robustness_flags(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--sparsifier", "deft", "--density", "0.05",
+            "--workers", "4", "--epochs", "1", "--scale", "smoke",
+            "--aggregator", "krum", "--attack", "sign_flip", "--n-byzantine", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregator=krum" in out
+        assert "attack=sign_flip" in out
+
+    def test_invalid_aggregator_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--aggregator", "nonexistent"])
+
+    def test_invalid_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--attack", "nonexistent"])
+
+    def test_invalid_robustness_config_fails_cleanly(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--workers", "4",
+            "--attack", "sign_flip", "--n-byzantine", "4", "--epochs", "1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "benign worker" in err
+
 
 class TestExperiment:
     def test_experiment_registry_covers_all_figures_and_tables(self):
         assert set(EXPERIMENTS) == {
             "fig01", "table1", "table2", "fig03", "fig04", "fig05",
-            "fig06", "fig07", "fig08", "fig09", "fig10",
+            "fig06", "fig07", "fig08", "fig09", "fig10", "robustness",
         }
 
     def test_experiment_fig09(self, capsys):
