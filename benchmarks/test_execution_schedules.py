@@ -1,0 +1,63 @@
+"""Micro-benchmark: overhead of the execution schedules at smoke scale.
+
+All four schedules process the same per-epoch batch budget, so this
+benchmark exposes the *simulator* overhead each one adds on top of the
+synchronous baseline: local SGD and elastic pay parameter copy-in/copy-out
+per worker step, async additionally runs its event loop and per-arrival
+selection.  The virtual wall-clock each schedule *models* is asserted
+separately (async under stragglers must beat BSP); the benchmark times the
+simulation itself.
+
+Run with::
+
+    pytest benchmarks/test_execution_models.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import config as expcfg
+from repro.sparsifiers import build_sparsifier
+from repro.training.trainer import DistributedTrainer, TrainingConfig
+
+EXECUTIONS = ("synchronous", "local_sgd", "async_bsp", "elastic")
+
+N_WORKERS = 4
+ITERATIONS = 6
+
+
+def run_once(task, execution: str) -> float:
+    config = TrainingConfig(
+        n_workers=N_WORKERS,
+        batch_size=8,
+        epochs=1,
+        lr=0.2,
+        seed=0,
+        max_iterations_per_epoch=ITERATIONS,
+        evaluate_each_epoch=False,
+        execution=execution,
+        straggler_profile="lognormal",
+    )
+    trainer = DistributedTrainer(task, build_sparsifier("deft", 0.05), config)
+    return trainer.train().estimated_wallclock
+
+
+@pytest.fixture(scope="module")
+def lm_task():
+    return expcfg.make_task(expcfg.LM, scale="smoke", seed=0)
+
+
+@pytest.mark.parametrize("execution", EXECUTIONS)
+def test_execution_schedule_overhead(benchmark, lm_task, execution):
+    benchmark.group = "execution-epoch"
+    wallclock = benchmark(lambda: run_once(lm_task, execution))
+    assert wallclock > 0
+
+
+def test_async_models_lower_wallclock_than_sync(lm_task):
+    """Sanity relationship (not timing-asserted): under lognormal stragglers
+    the bounded-staleness schedule models a shorter makespan than BSP."""
+    sync = run_once(lm_task, "synchronous")
+    async_ = run_once(lm_task, "async_bsp")
+    assert async_ < sync

@@ -13,6 +13,7 @@ from repro.aggregators.krum import KrumAggregator, MultiKrumAggregator
 from repro.aggregators.mean import MeanAggregator
 from repro.aggregators.median import MedianAggregator
 from repro.aggregators.registry import available_aggregators, build_aggregator
+from repro.aggregators.staleness import StalenessWeightedMeanAggregator
 from repro.aggregators.trimmed_mean import TrimmedMeanAggregator
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "MultiKrumAggregator",
     "GeometricMedianAggregator",
     "CenteredClippingAggregator",
+    "StalenessWeightedMeanAggregator",
     "build_aggregator",
     "available_aggregators",
 ]

@@ -10,6 +10,7 @@ from repro.aggregators.geometric_median import GeometricMedianAggregator
 from repro.aggregators.krum import KrumAggregator, MultiKrumAggregator
 from repro.aggregators.mean import MeanAggregator
 from repro.aggregators.median import MedianAggregator
+from repro.aggregators.staleness import StalenessWeightedMeanAggregator
 from repro.aggregators.trimmed_mean import TrimmedMeanAggregator
 
 __all__ = ["build_aggregator", "available_aggregators"]
@@ -22,6 +23,7 @@ _BUILDERS: Dict[str, Callable[..., Aggregator]] = {
     "multi_krum": MultiKrumAggregator,
     "geometric_median": GeometricMedianAggregator,
     "centered_clipping": CenteredClippingAggregator,
+    "staleness_weighted_mean": StalenessWeightedMeanAggregator,
 }
 
 

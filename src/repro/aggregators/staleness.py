@@ -1,0 +1,72 @@
+"""Staleness-weighted mean: decay contributions by their age.
+
+Asynchronous schedules apply gradients computed against parameters that
+are several server versions old.  Applying a stale gradient at full weight
+drags the model toward an outdated descent direction, so the standard
+mitigation (Zhang et al.'s staleness-aware async SGD) down-weights each
+contribution polynomially in its age ``s`` (measured in server versions):
+
+    w_i = (1 + s_i) ** -gamma,   update = sum_i w_i c_i / sum_i w_i
+
+``gamma=1`` (the default) is the classic ``1/(1+s)`` decay; ``gamma=0``
+recovers the plain mean.  The execution model announces the ages through
+:meth:`set_ages` right before the aggregation; with no ages set (e.g. when
+the rule is used in a synchronous run) every contribution counts equally,
+so the rule degrades gracefully to the arithmetic mean.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.aggregators.base import Aggregator
+
+__all__ = ["StalenessWeightedMeanAggregator"]
+
+
+class StalenessWeightedMeanAggregator(Aggregator):
+    """Weighted mean with polynomial staleness decay (not Byzantine-robust)."""
+
+    name = "staleness_weighted_mean"
+    requires_individual_contributions = True
+    is_robust = False
+
+    def __init__(self, n_byzantine: int = 0, gamma: float = 1.0) -> None:
+        super().__init__(n_byzantine)
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        self.gamma = float(gamma)
+        self._ages: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def set_ages(self, ages: Sequence[float]) -> None:
+        """Announce the per-contribution staleness (in server versions).
+
+        Consumed by the next :meth:`aggregate` call; the number of entries
+        must match that call's row count.
+        """
+        self._ages = np.asarray(ages, dtype=np.float64).reshape(-1)
+        if np.any(self._ages < 0):
+            raise ValueError("staleness ages must be non-negative")
+
+    def weights_for(self, n_rows: int) -> np.ndarray:
+        """Normalised decay weights for ``n_rows`` contributions."""
+        if self._ages is not None and self._ages.shape[0] == n_rows:
+            raw = np.power(1.0 + self._ages, -self.gamma)
+        else:
+            raw = np.ones(n_rows, dtype=np.float64)
+        return raw / raw.sum()
+
+    def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        matrix = self._as_matrix(contributions)
+        weights = self.weights_for(matrix.shape[0])
+        self._ages = None  # ages are one-shot; the next round must re-announce
+        return weights @ matrix
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        info = super().describe()
+        info["gamma"] = self.gamma
+        return info

@@ -37,6 +37,7 @@ class ALittleIsEnoughAttack(Adversary):
     """
 
     name = "alie"
+    colluding = True
 
     def __init__(self, n_byzantine: int = 0, z: Optional[float] = None) -> None:
         super().__init__(n_byzantine)

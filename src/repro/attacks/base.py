@@ -36,6 +36,11 @@ class Adversary:
     name: str = "base"
     #: True when the attack poisons training batches rather than gradients.
     corrupts_data: bool = False
+    #: True when the attack needs a synchronized view of every worker's
+    #: accumulator (it only acts through the plural
+    #: :meth:`corrupt_accumulators`).  Asynchronous schedules, where workers
+    #: never share an iteration, cannot host such attacks and reject them.
+    colluding: bool = False
 
     def __init__(self, n_byzantine: int = 0) -> None:
         if n_byzantine < 0:

@@ -6,9 +6,13 @@ Usage::
     python -m repro train --workload lm --sparsifier deft --density 0.01 --workers 4
     python -m repro train --workload cv --sparsifier deft --aggregator krum \
                           --attack sign_flip --n-byzantine 1
+    python -m repro run --execution async_bsp --straggler-profile lognormal
     python -m repro experiment fig09 --scale smoke
     python -m repro experiment robustness --scale smoke
+    python -m repro experiment staleness --scale smoke
     python -m repro sweep --scale smoke        # every figure/table in one go
+
+(``run`` is an alias of ``train``.)
 
 Each sub-command prints a plain-text report; the ``experiment`` sub-command
 prints exactly the rows/series the corresponding paper figure or table shows.
@@ -22,6 +26,7 @@ from typing import Dict, Optional
 
 from repro.aggregators import available_aggregators
 from repro.attacks import available_attacks
+from repro.execution import STRAGGLER_PROFILES, available_execution_models
 from repro.experiments import (
     fig01_buildup,
     fig03_convergence,
@@ -33,6 +38,7 @@ from repro.experiments import (
     fig09_speedup,
     fig10_scaleout,
     robustness_grid,
+    staleness_grid,
     table1_properties,
     table2_workloads,
 )
@@ -56,6 +62,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig09": (fig09_speedup, "Figure 9: selection speedup by scale-out"),
     "fig10": (fig10_scaleout, "Figure 10: DEFT convergence by scale-out"),
     "robustness": (robustness_grid, "Robustness grid: attack x aggregator x sparsifier degradation"),
+    "staleness": (staleness_grid, "Staleness grid: execution x sparsifier x straggler profile"),
 }
 
 
@@ -66,20 +73,40 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads, sparsifiers and experiments")
 
-    train = sub.add_parser("train", help="train one (workload, sparsifier) pair")
-    train.add_argument("--workload", choices=sorted(expcfg.PAPER_WORKLOADS), default=expcfg.LM)
-    train.add_argument("--sparsifier", choices=available_sparsifiers(), default="deft")
-    train.add_argument("--density", type=float, default=None)
-    train.add_argument("--workers", type=int, default=4)
-    train.add_argument("--epochs", type=int, default=None)
-    train.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
-    train.add_argument("--seed", type=int, default=0)
-    train.add_argument("--aggregator", choices=available_aggregators(), default="mean",
-                       help="aggregation rule for the per-worker contributions")
-    train.add_argument("--attack", choices=available_attacks(), default="none",
-                       help="attack corrupting the Byzantine workers")
-    train.add_argument("--n-byzantine", type=int, default=0,
-                       help="number of Byzantine worker ranks (the last ranks)")
+    for alias in ("train", "run"):
+        train = sub.add_parser(
+            alias,
+            help="train one (workload, sparsifier) pair"
+            + (" (alias of train)" if alias == "run" else ""),
+        )
+        train.add_argument("--workload", choices=sorted(expcfg.PAPER_WORKLOADS), default=expcfg.LM)
+        train.add_argument("--sparsifier", choices=available_sparsifiers(), default="deft")
+        train.add_argument("--density", type=float, default=None)
+        train.add_argument("--workers", type=int, default=4)
+        train.add_argument("--epochs", type=int, default=None)
+        train.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
+        train.add_argument("--seed", type=int, default=0)
+        train.add_argument("--aggregator", choices=available_aggregators(), default=None,
+                           help="aggregation rule for the per-worker contributions "
+                                "(default: mean; staleness_weighted_mean under "
+                                "async_bsp; an explicit choice is always honoured)")
+        train.add_argument("--attack", choices=available_attacks(), default="none",
+                           help="attack corrupting the Byzantine workers")
+        train.add_argument("--n-byzantine", type=int, default=0,
+                           help="number of Byzantine worker ranks (the last ranks)")
+        train.add_argument("--execution", choices=available_execution_models(),
+                           default="synchronous",
+                           help="execution schedule driving the training loop")
+        train.add_argument("--local-steps", type=int, default=4,
+                           help="local steps between averaging rounds (local_sgd/elastic)")
+        train.add_argument("--max-staleness", type=int, default=4,
+                           help="bounded-staleness window of async_bsp (0 = lock step)")
+        train.add_argument("--straggler-profile", choices=STRAGGLER_PROFILES,
+                           default="uniform",
+                           help="worker compute-speed profile for the virtual clock")
+        train.add_argument("--robust-norms", action="store_true",
+                           help="DEFT only: assign k from the median of all workers' "
+                                "layer norms instead of the delegate's own")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper figure/table")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -104,6 +131,12 @@ def _command_list() -> int:
     print("\nAttacks:")
     for name in available_attacks():
         print(f"  {name}")
+    print("\nExecution models:")
+    for name in available_execution_models():
+        print(f"  {name}")
+    print("\nStraggler profiles:")
+    for name in STRAGGLER_PROFILES:
+        print(f"  {name}")
     print("\nExperiments:")
     for name, (_, description) in sorted(EXPERIMENTS.items()):
         print(f"  {name:<7} {description}")
@@ -111,6 +144,12 @@ def _command_list() -> int:
 
 
 def _command_train(args) -> int:
+    sparsifier_kwargs = {}
+    if args.robust_norms:
+        if args.sparsifier != "deft":
+            print("error: --robust-norms only applies to the deft sparsifier", file=sys.stderr)
+            return 2
+        sparsifier_kwargs["robust_norms"] = True
     try:
         result = run_training(
             args.workload,
@@ -123,6 +162,11 @@ def _command_train(args) -> int:
             aggregator=args.aggregator,
             attack=args.attack,
             n_byzantine=args.n_byzantine,
+            execution=args.execution,
+            local_steps=args.local_steps,
+            max_staleness=args.max_staleness,
+            straggler_profile=args.straggler_profile,
+            sparsifier_kwargs=sparsifier_kwargs,
         )
     except (ValueError, KeyError) as exc:
         # Invalid configuration (e.g. n_byzantine >= workers, trimmed_mean
@@ -130,13 +174,16 @@ def _command_train(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     scenario = ""
-    if args.attack != "none" or args.aggregator != "mean":
-        scenario = f" [aggregator={args.aggregator}, attack={args.attack}, f={args.n_byzantine}]"
+    if args.attack != "none" or args.aggregator not in (None, "mean"):
+        scenario = f" [aggregator={args.aggregator or 'mean'}, attack={args.attack}, f={args.n_byzantine}]"
+    if args.execution != "synchronous" or args.straggler_profile != "uniform":
+        scenario += f" [execution={args.execution}, stragglers={args.straggler_profile}]"
     print(f"Trained {args.workload} with {args.sparsifier} on {args.workers} simulated workers{scenario}")
     for key, value in sorted(result.final_metrics.items()):
         print(f"  final {key}: {value:.4f}")
     print(f"  mean actual density: {result.mean_density():.4f}")
     print(f"  iterations run: {result.iterations_run}")
+    print(f"  estimated wall-clock: {result.estimated_wallclock:.4f}s")
     return 0
 
 
@@ -164,7 +211,7 @@ def main(argv: Optional[list] = None) -> int:
         return 1
     if args.command == "list":
         return _command_list()
-    if args.command == "train":
+    if args.command in ("train", "run"):
         return _command_train(args)
     if args.command == "experiment":
         return _command_experiment(args.name, args.scale)

@@ -83,6 +83,26 @@ class AlphaBetaModel:
         return CommunicationCost(hops * self.alpha, hops * float(payload) * self.beta)
 
     # ------------------------------------------------------------------ #
+    def point_to_point_cost(self, payload: float, hops: float = 1.0) -> CommunicationCost:
+        """One worker-to-server message: ``hops·alpha + m·beta``.
+
+        Parameter-server schedules (async bounded-staleness, elastic
+        averaging) do not use collectives; every exchange is a single
+        message, optionally routed over ``hops`` links of the topology.
+        """
+        if payload <= 0:
+            return CommunicationCost(0.0, 0.0)
+        return CommunicationCost(float(hops) * self.alpha, float(payload) * self.beta)
+
+    def push_cost(self, payload: float, hops: float = 1.0) -> CommunicationCost:
+        """Worker pushes a (sparse) contribution to the parameter server."""
+        return self.point_to_point_cost(payload, hops=hops)
+
+    def pull_cost(self, payload: float, hops: float = 1.0) -> CommunicationCost:
+        """Worker pulls the current parameters from the parameter server."""
+        return self.point_to_point_cost(payload, hops=hops)
+
+    # ------------------------------------------------------------------ #
     def sparsifier_step_cost(
         self,
         n_workers: int,

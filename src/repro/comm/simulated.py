@@ -92,6 +92,31 @@ class SimulatedBackend(CollectiveBackend):
         self.meter.record("gather", sent, received, tag=tag)
         return arrays
 
+    # ------------------------------------------------------------------ #
+    # Point-to-point parameter-server traffic.  The server is not a rank:
+    # a push contributes only the sender's payload, a pull only the
+    # receiver's, so the meter prices server links independently of the
+    # collectives.
+    def push(self, rank: int, payload: int, tag: str = "") -> None:
+        """Record one worker pushing ``payload`` elements to the server."""
+        if not 0 <= rank < self.n_workers:
+            raise ValueError(f"rank {rank} out of range for {self.n_workers} workers")
+        if payload < 0:
+            raise ValueError("payload must be non-negative")
+        sent = [0] * self.n_workers
+        sent[rank] = int(payload)
+        self.meter.record("push", sent, [0] * self.n_workers, tag=tag)
+
+    def pull(self, rank: int, payload: int, tag: str = "") -> None:
+        """Record one worker pulling ``payload`` elements from the server."""
+        if not 0 <= rank < self.n_workers:
+            raise ValueError(f"rank {rank} out of range for {self.n_workers} workers")
+        if payload < 0:
+            raise ValueError("payload must be non-negative")
+        received = [0] * self.n_workers
+        received[rank] = int(payload)
+        self.meter.record("pull", [0] * self.n_workers, received, tag=tag)
+
     def reduce_scalar(self, values: Sequence[float], op: ReduceOp = ReduceOp.MEAN, tag: str = "") -> float:
         self._check_ranks(values)
         arr = np.asarray([float(v) for v in values], dtype=np.float64)

@@ -1,0 +1,51 @@
+"""Pluggable execution models: *when* workers compute, exchange and apply.
+
+The paper's Algorithm 1 is a bulk-synchronous loop.  This package
+generalises the schedule the same way :mod:`repro.aggregators` generalised
+the aggregation rule: an :class:`ExecutionModel` owns the trainer's
+epoch/iteration loop, and four schedules are registered:
+
+``synchronous``
+    The paper's BSP loop (bit-identical to the pre-refactor trainer).
+``local_sgd``
+    H dense local steps per worker, then one sparsified averaging round.
+``async_bsp``
+    DOWNPOUR-style bounded-staleness push/pull against a simulated
+    parameter server with staleness-weighted aggregation.
+``elastic``
+    EASGD-style elastic averaging around a server-held center variable.
+
+Worker heterogeneity comes from :mod:`repro.execution.straggler`: named
+compute-speed profiles (``uniform``, ``lognormal``, ``straggler``) seeded
+from the training seed drive a virtual clock, so every run reports an
+estimated wall-clock that prices straggler waits and server traffic.
+"""
+
+from repro.execution.async_bsp import AsyncBSPExecution
+from repro.execution.base import ExecutionModel, flatten_parameters, load_flat_parameters
+from repro.execution.elastic import ElasticAveragingExecution
+from repro.execution.local_sgd import LocalSGDExecution
+from repro.execution.registry import available_execution_models, build_execution_model
+from repro.execution.straggler import (
+    STRAGGLER_PROFILES,
+    VirtualClock,
+    WorkerSpeedModel,
+    build_speed_factors,
+)
+from repro.execution.synchronous import SynchronousExecution
+
+__all__ = [
+    "ExecutionModel",
+    "SynchronousExecution",
+    "LocalSGDExecution",
+    "AsyncBSPExecution",
+    "ElasticAveragingExecution",
+    "build_execution_model",
+    "available_execution_models",
+    "STRAGGLER_PROFILES",
+    "build_speed_factors",
+    "VirtualClock",
+    "WorkerSpeedModel",
+    "flatten_parameters",
+    "load_flat_parameters",
+]

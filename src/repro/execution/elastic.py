@@ -1,0 +1,168 @@
+"""Elastic averaging (EASGD/AEASGD-style) around a center variable.
+
+Every worker runs dense SGD on its own parameter copy; a *center variable*
+``x~`` lives on the simulated parameter server (the trainer's shared
+model).  Every ``local_steps`` iterations each worker exchanges an elastic
+force with the center:
+
+    x_i <- x_i - alpha * (x_i - x~)
+    x~  <- x~  + (alpha / n) * sum_i (x_i - x~)
+
+so workers are pulled toward the center and the center drifts toward the
+workers' average -- exploration with a spring, rather than hard averaging.
+``alpha`` defaults to ``0.9 / n_workers``, the stable choice from the
+EASGD paper.  The exchange is point-to-point (each worker pushes its
+parameters and pulls the center), priced with the cost model's
+``push_cost`` / ``pull_cost``; evaluation always uses the center.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.execution.base import ExecutionModel, flatten_parameters, load_flat_parameters
+from repro.training.metrics import mean_error_norm
+from repro.training.timing import IterationTiming
+
+__all__ = ["ElasticAveragingExecution"]
+
+
+class ElasticAveragingExecution(ExecutionModel):
+    """Elastic-averaging SGD schedule with a server-held center variable."""
+
+    name = "elastic"
+    has_local_models = True
+    uses_parameter_server = True
+
+    def __init__(self, local_steps: int = 4, elastic_alpha: Optional[float] = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if local_steps < 1:
+            raise ValueError(f"local_steps must be >= 1, got {local_steps}")
+        if elastic_alpha is not None and not 0.0 < elastic_alpha <= 1.0:
+            raise ValueError(f"elastic_alpha must be in (0, 1], got {elastic_alpha}")
+        self.local_steps = int(local_steps)
+        self.elastic_alpha = elastic_alpha
+
+    def _post_bind(self) -> None:
+        if self.elastic_alpha is None:
+            # The EASGD paper's stability choice: beta/n with beta = 0.9.
+            self.elastic_alpha = 0.9 / self.trainer.config.n_workers
+        # The elastic exchange updates the center directly and never goes
+        # through the trainer's optimizer, so these knobs would be silently
+        # dropped -- refuse them instead.
+        if self.trainer.config.momentum or self.trainer.config.weight_decay:
+            raise ValueError(
+                "the elastic schedule ignores momentum/weight_decay; "
+                "configure them to 0 or pick another execution model"
+            )
+        # Likewise the exchange carries parameters, not gradients: data
+        # poisoning applies (the batch hook runs before each local step),
+        # but accumulator-level attacks have nothing to corrupt here.
+        adversary = self.trainer.adversary
+        if adversary.n_byzantine and not adversary.corrupts_data:
+            raise ValueError(
+                f"the {adversary.name!r} attack corrupts gradient accumulators, "
+                "which the elastic schedule never exchanges; use a data-poisoning "
+                "attack or another execution model"
+            )
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> Dict[str, float]:
+        trainer = self._require_trainer()
+        n_workers = trainer.config.n_workers
+        center = flatten_parameters(trainer.model)
+        local_params = [center.copy() for _ in range(n_workers)]
+
+        last_summary: Dict[str, float] = {}
+        for epoch in range(trainer.config.epochs):
+            iterators = [iter(loader) for loader in trainer.loaders]
+            n_iterations = trainer.epoch_iteration_budget()
+            epoch_metrics: List[Dict[str, float]] = []
+            for step in range(n_iterations):
+                batches = [next(it) for it in iterators]
+                lr = trainer.schedule.lr_at(trainer.iteration)
+                sync_now = (step + 1) % self.local_steps == 0 or step == n_iterations - 1
+                metrics = self._iteration(trainer, batches, lr, local_params, center, sync_now)
+                epoch_metrics.append(metrics)
+            load_flat_parameters(trainer.model, center)
+            last_summary = trainer.log_epoch_summary(epoch, epoch_metrics)
+        return last_summary
+
+    # ------------------------------------------------------------------ #
+    def _iteration(
+        self,
+        trainer,
+        batches,
+        lr: float,
+        local_params: List[np.ndarray],
+        center: np.ndarray,
+        sync_now: bool,
+    ) -> Dict[str, float]:
+        n_workers = trainer.config.n_workers
+        alpha = float(self.elastic_alpha)
+        losses = np.zeros(n_workers)
+
+        if trainer.adversary.corrupts_data:
+            batches = [
+                trainer.adversary.corrupt_batch(trainer.iteration, rank, batches[rank])
+                for rank in range(n_workers)
+            ]
+        for rank in range(n_workers):
+            load_flat_parameters(trainer.model, local_params[rank])
+            loss, grad = trainer.worker_gradient(rank, batches[rank])
+            losses[rank] = loss
+            local_params[rank] = local_params[rank] - lr * grad
+
+        communication_seconds = 0.0
+        comm_elements = 0.0
+        spread = 0.0
+        if sync_now:
+            comm_records_before = len(trainer.backend.meter.records)
+            diffs = [params - center for params in local_params]
+            for rank in range(n_workers):
+                local_params[rank] = local_params[rank] - alpha * diffs[rank]
+                trainer.backend.push(rank, trainer.n_gradients, tag="elastic-push")
+                trainer.backend.pull(rank, trainer.n_gradients, tag="elastic-pull")
+            center += (alpha / n_workers) * np.sum(diffs, axis=0)
+            spread = float(np.mean([np.linalg.norm(d) for d in diffs]))
+            communication_seconds = trainer._model_communication(comm_records_before)
+            # Pushes are sent-side-only records, pulls received-side-only:
+            # the sum counts each server-link payload exactly once.
+            comm_elements = sum(
+                record.total_sent + record.total_received
+                for record in trainer.backend.meter.records[comm_records_before:]
+            )
+
+        trainer.clock.advance_all(trainer.speed_model.slowest_batch_seconds() + communication_seconds)
+        trainer.timing.add(
+            IterationTiming(
+                forward=trainer.speed_model.slowest_batch_seconds() * 0.5,
+                backward=trainer.speed_model.slowest_batch_seconds() * 0.5,
+                selection=0.0,
+                communication=communication_seconds,
+                partition=0.0,
+            )
+        )
+
+        error = mean_error_norm([m.error_norm() for m in trainer.memories])
+        metrics = {
+            "loss": float(losses.mean()),
+            "density": 1.0 if sync_now else 0.0,
+            "error": error,
+            "k_global": float(trainer.n_gradients if sync_now else 0),
+            "elastic_spread": spread,
+            "lr": float(lr),
+        }
+        it = trainer.iteration
+        trainer.logger.log_scalar("loss", it, metrics["loss"])
+        trainer.logger.log_scalar("density", it, metrics["density"])
+        trainer.logger.log_scalar("error", it, error)
+        trainer.logger.log_scalar("k_global", it, metrics["k_global"])
+        trainer.logger.log_scalar("elastic_spread", it, spread)
+        trainer.logger.log_scalar("communication_seconds", it, communication_seconds)
+        trainer.logger.log_scalar("communication_elements", it, float(comm_elements))
+        trainer.logger.log_scalar("virtual_time", it, trainer.clock.now)
+        trainer.iteration += 1
+        return metrics

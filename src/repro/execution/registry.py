@@ -1,0 +1,45 @@
+"""Factory for execution models, mirroring :mod:`repro.sparsifiers.registry`."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.execution.async_bsp import AsyncBSPExecution
+from repro.execution.base import ExecutionModel
+from repro.execution.elastic import ElasticAveragingExecution
+from repro.execution.local_sgd import LocalSGDExecution
+from repro.execution.synchronous import SynchronousExecution
+
+__all__ = ["build_execution_model", "available_execution_models"]
+
+_BUILDERS: Dict[str, Callable[..., ExecutionModel]] = {
+    "synchronous": SynchronousExecution,
+    "local_sgd": LocalSGDExecution,
+    "async_bsp": AsyncBSPExecution,
+    "elastic": ElasticAveragingExecution,
+}
+
+
+def build_execution_model(name: str, **kwargs) -> ExecutionModel:
+    """Instantiate an execution model by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_execution_models`.
+    kwargs:
+        The uniform knob set (``local_steps``, ``max_staleness``, ...); each
+        model picks out the knobs it understands and ignores the rest, so
+        callers can pass the whole :class:`TrainingConfig`-derived set.
+    """
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown execution model {name!r}; available: {available_execution_models()}"
+        )
+    return _BUILDERS[key](**kwargs)
+
+
+def available_execution_models():
+    """Sorted list of registered execution-model names."""
+    return sorted(_BUILDERS)

@@ -28,6 +28,7 @@ fig08           Figure 8  (DEFT convergence vs density)
 fig09           Figure 9  (selection speedup by scale-out)
 fig10           Figure 10 (DEFT convergence by scale-out)
 robustness      Beyond the paper: attack x aggregator x sparsifier
+staleness       Beyond the paper: execution x sparsifier x straggler
 ==============  ====================================================
 """
 
@@ -43,6 +44,7 @@ from repro.experiments import (
     fig09_speedup,
     fig10_scaleout,
     robustness_grid,
+    staleness_grid,
     table1_properties,
     table2_workloads,
 )
@@ -62,4 +64,5 @@ __all__ = [
     "fig09_speedup",
     "fig10_scaleout",
     "robustness_grid",
+    "staleness_grid",
 ]

@@ -26,11 +26,17 @@ def run_training(
     evaluate_each_epoch: bool = True,
     sparsifier_kwargs: Optional[dict] = None,
     task: Optional[Task] = None,
-    aggregator: str = "mean",
+    aggregator: Optional[str] = None,
     aggregator_kwargs: Optional[dict] = None,
     attack: str = "none",
     attack_kwargs: Optional[dict] = None,
     n_byzantine: int = 0,
+    execution: str = "synchronous",
+    execution_kwargs: Optional[dict] = None,
+    local_steps: int = 4,
+    max_staleness: int = 4,
+    straggler_profile: str = "uniform",
+    base_compute_seconds: float = 0.02,
 ) -> TrainingResult:
     """Train one (workload, sparsifier) pair and return its result.
 
@@ -38,8 +44,16 @@ def run_training(
     :mod:`repro.experiments.config`; ``task`` can be passed to reuse an
     already-built dataset across several runs of the same experiment.
     ``aggregator``, ``attack`` and ``n_byzantine`` select the robustness
-    scenario (see :mod:`repro.aggregators` and :mod:`repro.attacks`).
+    scenario (see :mod:`repro.aggregators` and :mod:`repro.attacks`);
+    ``execution``, ``local_steps``, ``max_staleness`` and
+    ``straggler_profile`` select the schedule and the simulated cluster
+    heterogeneity (see :mod:`repro.execution`).
     """
+    if aggregator is None:
+        # The async server weighs pushes by age; a plain mean would treat a
+        # gradient computed s versions ago like a fresh one.  An *explicit*
+        # aggregator (even "mean") is always honoured.
+        aggregator = "staleness_weighted_mean" if execution == "async_bsp" else "mean"
     density = expcfg.default_density(workload) if density is None else float(density)
     epochs = expcfg.default_epochs(workload, scale) if epochs is None else int(epochs)
     batch_size = expcfg.default_batch_size(workload, scale) if batch_size is None else int(batch_size)
@@ -60,6 +74,12 @@ def run_training(
         attack=attack,
         attack_kwargs=attack_kwargs or {},
         n_byzantine=n_byzantine,
+        execution=execution,
+        execution_kwargs=execution_kwargs or {},
+        local_steps=local_steps,
+        max_staleness=max_staleness,
+        straggler_profile=straggler_profile,
+        base_compute_seconds=base_compute_seconds,
     )
     trainer = DistributedTrainer(task, sparsifier, training_config)
     return trainer.train()

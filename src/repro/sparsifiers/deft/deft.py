@@ -33,7 +33,7 @@ from repro.sparsifiers.deft.allocation import (
     allocate_layers,
     layer_costs,
 )
-from repro.sparsifiers.deft.k_assignment import assign_local_k, layer_norms
+from repro.sparsifiers.deft.k_assignment import assign_local_k, layer_norms, robust_layer_norms
 from repro.sparsifiers.deft.partitioning import LayerPartition, two_stage_partition
 from repro.sparsifiers.deft.selection import layerwise_select
 
@@ -54,6 +54,7 @@ class DEFTSparsifier(Sparsifier):
         allocation_policy: AllocationPolicy = AllocationPolicy.BIN_PACKING,
         norm_proportional_k: bool = True,
         two_stage: bool = True,
+        robust_norms: bool = False,
     ) -> None:
         """Create a DEFT sparsifier.
 
@@ -70,15 +71,23 @@ class DEFTSparsifier(Sparsifier):
         two_stage:
             When False, stage two of the partitioning (splitting oversized
             layers) is skipped (ablation of Algorithm 2).
+        robust_norms:
+            When True, the coordinate phase all-gathers every worker's
+            per-layer norms and Algorithm 3 runs on their *median* instead
+            of the delegate's own norms, so a Byzantine worker inflating
+            its accumulator cannot grab the whole selection budget.
         """
         super().__init__(density)
         self.allocation_policy = AllocationPolicy(allocation_policy)
         self.norm_proportional_k = bool(norm_proportional_k)
         self.two_stage = bool(two_stage)
+        self.robust_norms = bool(robust_norms)
         self.partitions: List[LayerPartition] = []
         self._allocation_iteration: Optional[int] = None
         self._allocation: Optional[List[List[int]]] = None
         self._coordinate_seconds: float = 0.0
+        self._shared_norms: Optional[np.ndarray] = None
+        self._shared_norms_iteration: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     def _post_setup(self) -> None:
@@ -96,23 +105,47 @@ class DEFTSparsifier(Sparsifier):
         """Rank that computes the allocation in ``iteration`` (cyclic)."""
         return int(iteration) % self.n_workers
 
-    def _assign_k(self, acc_flat: np.ndarray) -> np.ndarray:
+    def _assign_k(self, acc_flat: np.ndarray, iteration: Optional[int] = None) -> np.ndarray:
         """Run Algorithm 3 (or its uniform ablation) on one accumulator."""
         k_total = self.global_k
-        if self.norm_proportional_k:
+        if (
+            self.robust_norms
+            and iteration is not None
+            and self._shared_norms is not None
+            and self._shared_norms_iteration == int(iteration)
+        ):
+            # Coordinated path: every worker assigns from the same
+            # attack-resistant median norms.
+            norms = self._shared_norms
+        elif self.norm_proportional_k:
             norms = layer_norms(acc_flat, self.partitions)
         else:
             # Uniform ablation: weight every partition by its size instead.
             norms = np.array([float(p.size) for p in self.partitions], dtype=np.float64)
         return assign_local_k(self.partitions, norms, k_total)
 
-    def compute_allocation(self, acc_flat: np.ndarray) -> List[List[int]]:
+    def compute_allocation(self, acc_flat: np.ndarray, iteration: Optional[int] = None) -> List[List[int]]:
         """Compute the layer-to-worker allocation from one worker's view."""
-        ks = self._assign_k(acc_flat)
+        ks = self._assign_k(acc_flat, iteration)
         costs = layer_costs(self.partitions, ks)
         sizes = [p.size for p in self.partitions]
         result = allocate_layers(costs, self.n_workers, policy=self.allocation_policy, sizes=sizes)
         return result.assignment
+
+    def share_robust_norms(self, iteration: int, accumulators: Sequence[np.ndarray]) -> None:
+        """Install the median-of-norms statistic for ``iteration``.
+
+        Entry point for schedules without a collective coordinate phase
+        (the async parameter-server loop): the server sees the pushed
+        accumulators and computes the shared statistic from whatever subset
+        is present, so ``robust_norms`` keeps protecting the k assignment
+        even though no all-gather runs.
+        """
+        self._require_setup()
+        if not (self.robust_norms and self.norm_proportional_k):
+            return
+        self._shared_norms = robust_layer_norms(accumulators, self.partitions)
+        self._shared_norms_iteration = int(iteration)
 
     def coordinate(
         self,
@@ -124,7 +157,25 @@ class DEFTSparsifier(Sparsifier):
         self._require_setup()
         delegate = self.delegate_of(iteration)
         start = time.perf_counter()
-        allocation = self.compute_allocation(np.asarray(acc_per_worker[delegate]).reshape(-1))
+        if self.robust_norms and self.norm_proportional_k:
+            # All-gather every worker's per-layer norms (L floats each, the
+            # same order of magnitude as the allocation broadcast) and take
+            # the per-layer median: the statistic Algorithm 3 and the
+            # bin packing run on can no longer be moved by a minority of
+            # norm-inflating workers.
+            if backend is not None:
+                # The all-gather exists for the traffic meter; the lock-step
+                # simulation already sees every accumulator in memory.
+                rows = [
+                    layer_norms(np.asarray(acc).reshape(-1), self.partitions)
+                    for acc in acc_per_worker
+                ]
+                backend.allgather(rows, tag="deft-norms")
+            self._shared_norms = robust_layer_norms(acc_per_worker, self.partitions)
+            self._shared_norms_iteration = int(iteration)
+        allocation = self.compute_allocation(
+            np.asarray(acc_per_worker[delegate]).reshape(-1), iteration
+        )
         if backend is not None:
             # Payload: one integer per partitioned layer (the paper's 4L bytes).
             flat_allocation = [np.asarray(items, dtype=np.int64) for items in allocation]
@@ -141,7 +192,7 @@ class DEFTSparsifier(Sparsifier):
             # derives the allocation from its own accumulator.  Workers share
             # model state, so the allocations agree in practice; the
             # trainer-driven path guarantees it.
-            self._allocation = self.compute_allocation(acc_flat)
+            self._allocation = self.compute_allocation(acc_flat, iteration)
             self._allocation_iteration = int(iteration)
         return self._allocation[rank]
 
@@ -152,7 +203,7 @@ class DEFTSparsifier(Sparsifier):
 
         partition_start = time.perf_counter()
         allocated = self.allocation_for(iteration, rank, flat)
-        ks = self._assign_k(flat)
+        ks = self._assign_k(flat, iteration)
         partition_seconds = time.perf_counter() - partition_start
 
         select_start = time.perf_counter()

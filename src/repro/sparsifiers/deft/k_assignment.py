@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.sparsifiers.deft.partitioning import LayerPartition
 
-__all__ = ["assign_local_k", "layer_norms"]
+__all__ = ["assign_local_k", "layer_norms", "robust_layer_norms"]
 
 
 def layer_norms(acc_flat: np.ndarray, partitions: Sequence[LayerPartition], ord: int = 2) -> np.ndarray:
@@ -25,6 +25,34 @@ def layer_norms(acc_flat: np.ndarray, partitions: Sequence[LayerPartition], ord:
     return np.array(
         [np.linalg.norm(flat[p.start : p.end], ord=ord) for p in partitions], dtype=np.float64
     )
+
+
+def robust_layer_norms(
+    acc_per_worker: Sequence[np.ndarray],
+    partitions: Sequence[LayerPartition],
+    statistic: str = "median",
+    ord: int = 2,
+) -> np.ndarray:
+    """Per-partition norm statistic over *all* workers' accumulators.
+
+    Algorithm 3 trusts whatever norms it is handed.  In the trainer-driven
+    path the delegated worker computes them from its own accumulator, so a
+    single Byzantine worker that inflates one layer's entries can -- when
+    it is the delegate -- grab the whole selection budget for that layer.
+    The median over workers has a 50% breakdown point: as long as a
+    majority of workers is honest, an inflated layer norm cannot move the
+    statistic, so the budget split stays attack-resistant.
+    """
+    if not len(acc_per_worker):
+        raise ValueError("need at least one accumulator")
+    matrix = np.stack(
+        [layer_norms(np.asarray(acc).reshape(-1), partitions, ord=ord) for acc in acc_per_worker]
+    )
+    if statistic == "median":
+        return np.median(matrix, axis=0)
+    if statistic == "mean":
+        return matrix.mean(axis=0)
+    raise ValueError(f"unknown norm statistic {statistic!r}; use 'median' or 'mean'")
 
 
 def assign_local_k(

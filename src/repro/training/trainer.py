@@ -26,6 +26,14 @@ Per iteration (paper's Algorithm 1):
 7. the transmitted entries of ``acc_i`` are zeroed and the rest becomes
    ``e_{i,t+1}``.
 
+*When* those steps run -- every iteration in lock step, every H iterations,
+or asynchronously against a parameter server -- is decided by the
+configured :class:`~repro.execution.ExecutionModel`; the default
+``synchronous`` schedule is the loop above, verbatim.  A per-worker
+compute-speed model (``straggler_profile``) and a virtual clock price each
+schedule, so runs report an estimated wall-clock that accounts for
+stragglers.
+
 An optional :class:`~repro.attacks.Adversary` corrupts a configurable
 subset of worker ranks: data poisoning hooks in before the local gradient
 computation, gradient attacks right after the error-feedback accumulation
@@ -34,7 +42,8 @@ including the indices it selects.
 
 The trainer records, per iteration: training loss, actual density, error
 norm, selection/partition/communication times (Figure 1, 4, 5, 6, 7 series),
-and per epoch: the task's evaluation metric (Figure 3, 8, 10 series).
+the virtual time, and per epoch: the task's evaluation metric (Figure 3, 8,
+10 series).
 """
 
 from __future__ import annotations
@@ -53,6 +62,8 @@ from repro.comm.cost_model import AlphaBetaModel
 from repro.comm.simulated import SimulatedBackend
 from repro.data.dataloader import DataLoader
 from repro.data.partition import shard_dataset
+from repro.execution.base import ExecutionModel
+from repro.execution.straggler import STRAGGLER_PROFILES, VirtualClock, WorkerSpeedModel
 from repro.sparsifiers.base import GradientLayout, Sparsifier
 from repro.training.error_feedback import ErrorFeedbackMemory
 from repro.training.lr_schedule import ConstantLR, LRSchedule
@@ -93,6 +104,40 @@ class TrainingConfig:
     attack_kwargs: Dict = field(default_factory=dict)
     #: Number of Byzantine worker ranks (the last ranks of the group).
     n_byzantine: int = 0
+    #: Execution schedule: "synchronous", "local_sgd", "async_bsp", "elastic".
+    execution: str = "synchronous"
+    #: Extra constructor arguments for the execution model.
+    execution_kwargs: Dict = field(default_factory=dict)
+    #: Local steps between averaging rounds (local_sgd / elastic).
+    local_steps: int = 4
+    #: Bounded-staleness window of the async schedule (0 = lock step).
+    max_staleness: int = 4
+    #: Worker compute-speed profile: "uniform", "lognormal" or "straggler".
+    straggler_profile: str = "uniform"
+    #: Modelled compute seconds of one mini-batch on a nominal worker.
+    base_compute_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        n_byzantine = int(self.n_byzantine)
+        if n_byzantine < 0:
+            raise ValueError(f"n_byzantine must be non-negative, got {self.n_byzantine}")
+        if n_byzantine >= self.n_workers and n_byzantine > 0:
+            raise ValueError(
+                f"n_byzantine={n_byzantine} leaves no benign worker out of {self.n_workers}"
+            )
+        if self.local_steps < 1:
+            raise ValueError(f"local_steps must be >= 1, got {self.local_steps}")
+        if self.max_staleness < 0:
+            raise ValueError(f"max_staleness must be >= 0, got {self.max_staleness}")
+        if self.straggler_profile not in STRAGGLER_PROFILES:
+            raise ValueError(
+                f"unknown straggler profile {self.straggler_profile!r}; "
+                f"available: {list(STRAGGLER_PROFILES)}"
+            )
+        if self.base_compute_seconds <= 0:
+            raise ValueError("base_compute_seconds must be positive")
 
     def schedule(self) -> LRSchedule:
         return self.lr_schedule if self.lr_schedule is not None else ConstantLR(self.lr)
@@ -107,6 +152,9 @@ class TrainingResult:
     final_metrics: Dict[str, float] = field(default_factory=dict)
     iterations_run: int = 0
     epochs_run: int = 0
+    #: Modelled makespan of the run on the virtual clock (compute waits,
+    #: collective and server traffic included).
+    estimated_wallclock: float = 0.0
 
     def series(self, name: str):
         return self.logger.series(name)
@@ -119,7 +167,14 @@ class TrainingResult:
 
 
 class DistributedTrainer:
-    """Simulated data-parallel trainer implementing Algorithm 1."""
+    """Simulated data-parallel trainer implementing Algorithm 1.
+
+    The epoch/iteration loop itself lives in the configured
+    :class:`~repro.execution.ExecutionModel`; the trainer owns the shared
+    state (model, optimizer, error-feedback memories, backend, cost model,
+    virtual clock) and the Algorithm-1 building blocks the schedules
+    compose.
+    """
 
     def __init__(
         self,
@@ -131,6 +186,7 @@ class DistributedTrainer:
         run_name: Optional[str] = None,
         aggregator: Optional[Aggregator] = None,
         adversary: Optional[Adversary] = None,
+        execution: Optional[ExecutionModel] = None,
     ) -> None:
         self.task = task
         self.sparsifier = sparsifier
@@ -163,6 +219,28 @@ class DistributedTrainer:
         self.loaders = self._build_loaders(seeds)
         self.schedule = config.schedule()
 
+        # Imported here rather than at module level: the registry pulls in
+        # the concrete execution models, which import training submodules.
+        from repro.execution.registry import build_execution_model
+
+        self.speed_model = WorkerSpeedModel(
+            config.n_workers,
+            base_compute_seconds=config.base_compute_seconds,
+            profile=config.straggler_profile,
+            seed=config.seed,
+        )
+        self.clock = VirtualClock(config.n_workers)
+        self.execution = (
+            execution
+            if execution is not None
+            else build_execution_model(
+                config.execution,
+                local_steps=config.local_steps,
+                max_staleness=config.max_staleness,
+                **config.execution_kwargs,
+            )
+        )
+
         name = run_name or f"{task.name}-{sparsifier.name}-w{config.n_workers}-d{sparsifier.density}"
         self.logger = RunLogger(run_name=name)
         self.logger.log_metadata(
@@ -176,9 +254,12 @@ class DistributedTrainer:
             aggregator=self.aggregator.name,
             attack=self.adversary.name,
             n_byzantine=self.adversary.n_byzantine,
+            execution=self.execution.name,
+            straggler_profile=config.straggler_profile,
         )
         self.timing = TimingAccumulator()
         self.iteration = 0
+        self.execution.bind(self)
 
     # ------------------------------------------------------------------ #
     def _build_loaders(self, seeds: SeedSequenceFactory) -> List[DataLoader]:
@@ -197,38 +278,29 @@ class DistributedTrainer:
         return loaders
 
     # ------------------------------------------------------------------ #
-    def train_iteration(self, batches: Sequence, lr: float) -> Dict[str, float]:
-        """Run one synchronous iteration over all workers; returns metrics."""
-        n_workers = self.config.n_workers
-        forward_backward_times = np.zeros(n_workers)
-        losses = np.zeros(n_workers)
-        accumulators: List[np.ndarray] = []
+    # Algorithm-1 building blocks shared by the execution models.
+    # ------------------------------------------------------------------ #
+    def worker_gradient(self, rank: int, batch) -> tuple:
+        """Loss and flat gradient of one worker's batch on the current model.
 
-        # 1-2. Local gradients and error-feedback accumulation.
-        if self.adversary.corrupts_data:
-            batches = [
-                self.adversary.corrupt_batch(self.iteration, rank, batches[rank])
-                for rank in range(n_workers)
-            ]
-        for rank in range(n_workers):
-            start = time.perf_counter()
-            self.model.zero_grad()
-            loss = self.task.compute_loss(self.model, batches[rank])
-            loss.backward()
-            forward_backward_times[rank] = time.perf_counter() - start
-            losses[rank] = loss.item()
-            grad_flat = flatten_gradients(self.model)
-            accumulators.append(self.memories[rank].accumulate(grad_flat, lr))
+        Execution models with diverging local parameters load the worker's
+        copy into the shared model before calling this.
+        """
         self.model.zero_grad()
+        loss = self.task.compute_loss(self.model, batch)
+        loss.backward()
+        grad_flat = flatten_gradients(self.model)
+        self.model.zero_grad()
+        return float(loss.item()), grad_flat
 
-        # Gradient attacks corrupt the Byzantine accumulators before the
-        # sparsifier coordinates/selects on them.  The error-feedback update
-        # (step 7) keeps the honest accumulators: a Byzantine worker lies on
-        # the wire, but feeding the corruption back into its own memory
-        # would compound multiplicative attacks into overflow.
-        honest_accumulators = accumulators
-        if self.adversary.n_byzantine:
-            accumulators = self.adversary.corrupt_accumulators(self.iteration, accumulators)
+    def sparse_exchange(self, accumulators: Sequence[np.ndarray], honest_accumulators: Sequence[np.ndarray]) -> Dict:
+        """Steps 3-7 of Algorithm 1: coordinate, select, aggregate, apply.
+
+        ``accumulators`` is what each worker puts on the wire (possibly
+        corrupted), ``honest_accumulators`` is what feeds the error-feedback
+        update.  Returns the per-step measurements the loggers need.
+        """
+        n_workers = self.config.n_workers
 
         # 3. Optional coordination (CLT-k leader selection, DEFT allocation).
         comm_records_before = len(self.backend.meter.records)
@@ -275,18 +347,70 @@ class DistributedTrainer:
         for rank in range(n_workers):
             self.memories[rank].update(honest_accumulators[rank], global_indices)
 
-        # Modelled communication time from the collectives of this iteration.
+        # Modelled communication time from the collectives of this exchange.
         communication_seconds = self._model_communication(comm_records_before)
         comm_elements = sum(
             record.total_sent for record in self.backend.meter.records[comm_records_before:]
         )
+        return {
+            "global_indices": global_indices,
+            "per_worker_k": per_worker_k,
+            "selection_times": selection_times,
+            "partition_times": partition_times,
+            "analytic_costs": analytic_costs,
+            "communication_seconds": communication_seconds,
+            "comm_elements": comm_elements,
+        }
+
+    # ------------------------------------------------------------------ #
+    def train_iteration(self, batches: Sequence, lr: float) -> Dict[str, float]:
+        """Run one synchronous iteration over all workers; returns metrics."""
+        n_workers = self.config.n_workers
+        forward_backward_times = np.zeros(n_workers)
+        losses = np.zeros(n_workers)
+        accumulators: List[np.ndarray] = []
+
+        # 1-2. Local gradients and error-feedback accumulation.
+        if self.adversary.corrupts_data:
+            batches = [
+                self.adversary.corrupt_batch(self.iteration, rank, batches[rank])
+                for rank in range(n_workers)
+            ]
+        for rank in range(n_workers):
+            start = time.perf_counter()
+            self.model.zero_grad()
+            loss = self.task.compute_loss(self.model, batches[rank])
+            loss.backward()
+            forward_backward_times[rank] = time.perf_counter() - start
+            losses[rank] = loss.item()
+            grad_flat = flatten_gradients(self.model)
+            accumulators.append(self.memories[rank].accumulate(grad_flat, lr))
+        self.model.zero_grad()
+
+        # Gradient attacks corrupt the Byzantine accumulators before the
+        # sparsifier coordinates/selects on them.  The error-feedback update
+        # (step 7) keeps the honest accumulators: a Byzantine worker lies on
+        # the wire, but feeding the corruption back into its own memory
+        # would compound multiplicative attacks into overflow.
+        honest_accumulators = accumulators
+        if self.adversary.n_byzantine:
+            accumulators = self.adversary.corrupt_accumulators(self.iteration, accumulators)
+
+        # 3-7. Coordinate, select, aggregate, apply, error-feedback update.
+        exchange = self.sparse_exchange(accumulators, honest_accumulators)
+        global_indices = exchange["global_indices"]
+        communication_seconds = exchange["communication_seconds"]
+
+        # Lock-step round on the virtual clock: everyone waits for the
+        # slowest worker's compute, then pays the collective time.
+        self.clock.advance_all(self.speed_model.slowest_batch_seconds() + communication_seconds)
 
         timing = IterationTiming(
             forward=float(forward_backward_times.max() * 0.5),
             backward=float(forward_backward_times.max() * 0.5),
-            selection=float(selection_times.max()),
+            selection=float(exchange["selection_times"].max()),
             communication=float(communication_seconds),
-            partition=float(partition_times.max()),
+            partition=float(exchange["partition_times"].max()),
         )
         self.timing.add(timing)
 
@@ -297,7 +421,7 @@ class DistributedTrainer:
             "density": density,
             "error": error,
             "k_global": float(global_indices.shape[0]),
-            "k_local_mean": float(per_worker_k.mean()),
+            "k_local_mean": float(exchange["per_worker_k"].mean()),
             "lr": float(lr),
         }
 
@@ -306,15 +430,16 @@ class DistributedTrainer:
         self.logger.log_scalar("error", self.iteration, error)
         self.logger.log_scalar("k_global", self.iteration, metrics["k_global"])
         self.logger.log_scalar("selection_seconds", self.iteration, timing.selection)
-        self.logger.log_scalar("selection_cost_analytic", self.iteration, float(analytic_costs.max()))
+        self.logger.log_scalar("selection_cost_analytic", self.iteration, float(exchange["analytic_costs"].max()))
         self.logger.log_scalar("communication_seconds", self.iteration, timing.communication)
-        self.logger.log_scalar("communication_elements", self.iteration, float(comm_elements))
+        self.logger.log_scalar("communication_elements", self.iteration, float(exchange["comm_elements"]))
         self.logger.log_scalar("partition_seconds", self.iteration, timing.partition)
+        self.logger.log_scalar("virtual_time", self.iteration, self.clock.now)
         self.iteration += 1
         return metrics
 
     def _model_communication(self, records_before: int) -> float:
-        """Convert this iteration's collective calls into modelled seconds."""
+        """Convert this iteration's communication calls into modelled seconds."""
         n = self.config.n_workers
         seconds = 0.0
         for record in self.backend.meter.records[records_before:]:
@@ -328,20 +453,23 @@ class DistributedTrainer:
                 seconds += self.cost_model.broadcast_cost(n, payload).total
             elif record.op == "gather":
                 seconds += self.cost_model.allgather_cost(n, record.max_sent).total
+            elif record.op == "push":
+                seconds += self.cost_model.push_cost(record.max_sent).total
+            elif record.op == "pull":
+                payload = max(record.received_per_rank) if record.received_per_rank else 0
+                seconds += self.cost_model.pull_cost(payload).total
         return seconds
 
     # ------------------------------------------------------------------ #
-    def train_epoch(self, epoch: int) -> Dict[str, float]:
-        """Run one epoch (each worker does one pass over its shard)."""
-        iterators = [iter(loader) for loader in self.loaders]
+    def epoch_iteration_budget(self) -> int:
+        """Lock-step iterations per epoch (one pass over the shortest shard)."""
         n_iterations = min(len(loader) for loader in self.loaders)
         if self.config.max_iterations_per_epoch is not None:
             n_iterations = min(n_iterations, self.config.max_iterations_per_epoch)
-        epoch_metrics: List[Dict[str, float]] = []
-        for _ in range(n_iterations):
-            batches = [next(it) for it in iterators]
-            lr = self.schedule.lr_at(self.iteration)
-            epoch_metrics.append(self.train_iteration(batches, lr))
+        return n_iterations
+
+    def log_epoch_summary(self, epoch: int, epoch_metrics: List[Dict[str, float]]) -> Dict[str, float]:
+        """Epoch-level series and (optionally) the task evaluation metric."""
         summary = {
             "loss": float(np.mean([m["loss"] for m in epoch_metrics])) if epoch_metrics else 0.0,
             "density": float(np.mean([m["density"] for m in epoch_metrics])) if epoch_metrics else 0.0,
@@ -356,11 +484,20 @@ class DistributedTrainer:
             summary.update(evaluation)
         return summary
 
+    def train_epoch(self, epoch: int) -> Dict[str, float]:
+        """Run one lock-step epoch (each worker does one pass over its shard)."""
+        iterators = [iter(loader) for loader in self.loaders]
+        n_iterations = self.epoch_iteration_budget()
+        epoch_metrics: List[Dict[str, float]] = []
+        for _ in range(n_iterations):
+            batches = [next(it) for it in iterators]
+            lr = self.schedule.lr_at(self.iteration)
+            epoch_metrics.append(self.train_iteration(batches, lr))
+        return self.log_epoch_summary(epoch, epoch_metrics)
+
     def train(self) -> TrainingResult:
-        """Run the configured number of epochs and return the result."""
-        last_summary: Dict[str, float] = {}
-        for epoch in range(self.config.epochs):
-            last_summary = self.train_epoch(epoch)
+        """Run the configured schedule over all epochs and return the result."""
+        last_summary = self.execution.run()
         final_metrics = dict(last_summary)
         if not self.config.evaluate_each_epoch:
             final_metrics.update(self.task.evaluate(self.model))
@@ -370,4 +507,5 @@ class DistributedTrainer:
             final_metrics=final_metrics,
             iterations_run=self.iteration,
             epochs_run=self.config.epochs,
+            estimated_wallclock=self.clock.now,
         )

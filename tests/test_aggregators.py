@@ -39,6 +39,7 @@ class TestRegistry:
             "mean",
             "median",
             "multi_krum",
+            "staleness_weighted_mean",
             "trimmed_mean",
         ]
 
@@ -226,3 +227,54 @@ class TestDegenerateCases:
             Aggregator().aggregate(np.zeros((2, 2)))
         with pytest.raises(NotImplementedError):
             MedianAggregator().aggregate_reduced(np.zeros(2))
+
+
+class TestStalenessWeightedMean:
+    def test_without_ages_equals_mean(self, rng):
+        matrix = rng.standard_normal((4, 10))
+        agg = make("staleness_weighted_mean", n_workers=4)
+        np.testing.assert_allclose(agg.aggregate(matrix), matrix.mean(axis=0))
+
+    def test_fresh_contributions_weigh_more(self):
+        matrix = np.array([[1.0, 1.0], [3.0, 3.0]])
+        agg = make("staleness_weighted_mean", n_workers=2)
+        agg.set_ages([0.0, 3.0])  # second row is 3 versions stale
+        result = agg.aggregate(matrix)
+        # Weighted toward the fresh row: below the plain mean of 2.0.
+        assert np.all(result < 2.0)
+        assert np.all(result > 1.0)
+
+    def test_gamma_zero_recovers_mean(self):
+        matrix = np.array([[1.0], [3.0]])
+        agg = make("staleness_weighted_mean", n_workers=2, gamma=0.0)
+        agg.set_ages([0.0, 10.0])
+        np.testing.assert_allclose(agg.aggregate(matrix), [2.0])
+
+    def test_classic_decay_weights(self):
+        agg = make("staleness_weighted_mean", n_workers=2, gamma=1.0)
+        agg.set_ages([0.0, 1.0])
+        weights = agg.weights_for(2)
+        np.testing.assert_allclose(weights, [2.0 / 3.0, 1.0 / 3.0])
+
+    def test_ages_are_one_shot(self):
+        matrix = np.array([[1.0], [3.0]])
+        agg = make("staleness_weighted_mean", n_workers=2)
+        agg.set_ages([0.0, 3.0])
+        agg.aggregate(matrix)
+        # The second call has no announced ages: plain mean again.
+        np.testing.assert_allclose(agg.aggregate(matrix), [2.0])
+
+    def test_mismatched_age_count_falls_back_to_uniform(self):
+        matrix = np.array([[1.0], [3.0]])
+        agg = make("staleness_weighted_mean", n_workers=2)
+        agg.set_ages([0.0, 1.0, 2.0])
+        np.testing.assert_allclose(agg.aggregate(matrix), [2.0])
+
+    def test_negative_age_rejected(self):
+        agg = make("staleness_weighted_mean", n_workers=2)
+        with pytest.raises(ValueError):
+            agg.set_ages([-1.0, 0.0])
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            build_aggregator("staleness_weighted_mean", gamma=-0.5)

@@ -21,6 +21,15 @@ class TestList:
         assert "sign_flip" in out
         assert "robustness" in out
 
+    def test_list_prints_execution_models_and_profiles(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "async_bsp" in out
+        assert "local_sgd" in out
+        assert "elastic" in out
+        assert "lognormal" in out
+        assert "staleness" in out
+
 
 class TestTrain:
     def test_train_smoke(self, capsys):
@@ -66,12 +75,67 @@ class TestTrain:
         assert "error:" in err
         assert "benign worker" in err
 
+    def test_negative_byzantine_fails_cleanly(self, capsys):
+        """Config-construction-time validation, not a downstream aggregator error."""
+        code = main([
+            "train", "--workload", "lm", "--workers", "4",
+            "--n-byzantine", "-1", "--epochs", "1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "non-negative" in err
+
+    def test_run_alias_with_execution_flags(self, capsys):
+        code = main([
+            "run", "--workload", "lm", "--sparsifier", "deft", "--density", "0.05",
+            "--workers", "2", "--epochs", "1", "--scale", "smoke",
+            "--execution", "async_bsp", "--straggler-profile", "lognormal",
+            "--max-staleness", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution=async_bsp" in out
+        assert "stragglers=lognormal" in out
+        assert "estimated wall-clock" in out
+
+    def test_train_local_sgd(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--density", "0.05", "--workers", "2",
+            "--epochs", "1", "--execution", "local_sgd", "--local-steps", "2",
+        ])
+        assert code == 0
+        assert "execution=local_sgd" in capsys.readouterr().out
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--execution", "nonexistent"])
+
+    def test_invalid_straggler_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--straggler-profile", "nonexistent"])
+
+    def test_robust_norms_flag(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--sparsifier", "deft", "--density", "0.05",
+            "--workers", "2", "--epochs", "1", "--robust-norms",
+        ])
+        assert code == 0
+
+    def test_robust_norms_requires_deft(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--sparsifier", "topk", "--density", "0.05",
+            "--workers", "2", "--epochs", "1", "--robust-norms",
+        ])
+        assert code == 2
+        assert "robust-norms" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_experiment_registry_covers_all_figures_and_tables(self):
         assert set(EXPERIMENTS) == {
             "fig01", "table1", "table2", "fig03", "fig04", "fig05",
             "fig06", "fig07", "fig08", "fig09", "fig10", "robustness",
+            "staleness",
         }
 
     def test_experiment_fig09(self, capsys):

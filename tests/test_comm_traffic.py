@@ -1,0 +1,154 @@
+"""Direct tests for the traffic meter and point-to-point server traffic.
+
+The collective paths are exercised end-to-end by the trainer tests; this
+module pins down the :class:`TrafficMeter` accounting API itself (tags,
+filters, aggregation) and the parameter-server ``push``/``pull`` records
+plus their alpha-beta pricing, which the async/elastic schedules rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimulatedBackend, TrafficMeter
+from repro.comm.cost_model import AlphaBetaModel
+from repro.comm.topology import ring_topology, star_topology, tree_topology
+from repro.comm.traffic import CollectiveRecord
+
+
+class TestCollectiveRecord:
+    def test_totals(self):
+        record = CollectiveRecord("allgather", [3, 5, 2], [10, 10, 10], tag="indices")
+        assert record.total_sent == 10
+        assert record.total_received == 30
+        assert record.max_sent == 5
+
+    def test_empty_record(self):
+        record = CollectiveRecord("barrier", [], [])
+        assert record.max_sent == 0
+        assert record.total_sent == 0
+
+
+class TestTrafficMeter:
+    def make_meter(self):
+        meter = TrafficMeter()
+        meter.record("allgather", [4, 4], [8, 8], tag="indices")
+        meter.record("allreduce", [16, 16], [16, 16], tag="values")
+        meter.record("allgather", [2, 2], [4, 4], tag="indices")
+        meter.record("broadcast", [6, 0], [6, 6], tag="allocation")
+        return meter
+
+    def test_total_sent_filters_by_op_and_tag(self):
+        meter = self.make_meter()
+        assert meter.total_sent() == 8 + 32 + 4 + 6
+        assert meter.total_sent(op="allgather") == 12
+        assert meter.total_sent(tag="indices") == 12
+        assert meter.total_sent(op="allgather", tag="indices") == 12
+        assert meter.total_sent(op="allreduce", tag="indices") == 0
+
+    def test_total_received_filters(self):
+        meter = self.make_meter()
+        assert meter.total_received(tag="values") == 32
+        assert meter.total_received(op="broadcast") == 12
+
+    def test_call_count(self):
+        meter = self.make_meter()
+        assert meter.call_count() == 4
+        assert meter.call_count(op="allgather") == 2
+        assert meter.call_count(tag="allocation") == 1
+
+    def test_by_tag_groups_sent_elements(self):
+        grouped = self.make_meter().by_tag()
+        assert grouped == {"indices": 12, "values": 32, "allocation": 6}
+
+    def test_reset_clears_records(self):
+        meter = self.make_meter()
+        meter.reset()
+        assert meter.records == []
+        assert meter.total_sent() == 0
+
+    def test_record_coerces_to_int(self):
+        meter = TrafficMeter()
+        entry = meter.record("allgather", [np.int64(3)], [np.float64(4.0)], tag="x")
+        assert entry.sent_per_rank == [3]
+        assert entry.received_per_rank == [4]
+
+
+class TestPushPull:
+    def test_push_records_only_sender(self):
+        backend = SimulatedBackend(4)
+        backend.push(2, 100, tag="ps-push")
+        [record] = backend.meter.records
+        assert record.op == "push"
+        assert record.sent_per_rank == [0, 0, 100, 0]
+        assert record.total_received == 0
+
+    def test_pull_records_only_receiver(self):
+        backend = SimulatedBackend(3)
+        backend.pull(1, 50, tag="ps-pull")
+        [record] = backend.meter.records
+        assert record.op == "pull"
+        assert record.received_per_rank == [0, 50, 0]
+        assert record.total_sent == 0
+
+    def test_out_of_range_rank_rejected(self):
+        backend = SimulatedBackend(2)
+        with pytest.raises(ValueError):
+            backend.push(2, 10)
+        with pytest.raises(ValueError):
+            backend.pull(-1, 10)
+
+    def test_negative_payload_rejected(self):
+        backend = SimulatedBackend(2)
+        with pytest.raises(ValueError):
+            backend.push(0, -1)
+
+
+class TestPointToPointCosts:
+    def test_push_cost_formula(self):
+        model = AlphaBetaModel(alpha=1e-5, beta=1e-9)
+        cost = model.push_cost(1000)
+        assert cost.latency == pytest.approx(1e-5)
+        assert cost.bandwidth == pytest.approx(1000 * 1e-9)
+        assert model.pull_cost(1000).total == pytest.approx(cost.total)
+
+    def test_zero_payload_costs_nothing(self):
+        model = AlphaBetaModel()
+        assert model.push_cost(0).total == 0.0
+        assert model.pull_cost(0).total == 0.0
+
+    def test_hops_scale_latency_only(self):
+        model = AlphaBetaModel(alpha=1e-5, beta=1e-9)
+        near = model.point_to_point_cost(100, hops=1)
+        far = model.point_to_point_cost(100, hops=4)
+        assert far.latency == pytest.approx(4 * near.latency)
+        assert far.bandwidth == pytest.approx(near.bandwidth)
+
+    def test_topology_hops_compose_with_p2p_cost(self):
+        """A star network's worker-to-server path is one hop; a ring's
+        worst case is the diameter -- the latency scales accordingly."""
+        model = AlphaBetaModel(alpha=1e-5, beta=1e-9)
+        star = star_topology(8)
+        ring = ring_topology(8)
+        star_cost = model.push_cost(100, hops=star.path_hops(1, 0))
+        ring_cost = model.push_cost(100, hops=ring.diameter_hops())
+        assert ring_cost.latency > star_cost.latency
+
+    def test_push_cheaper_than_allgather_for_same_payload(self):
+        """One point-to-point message beats the 2(n-1)k all-gather term."""
+        model = AlphaBetaModel()
+        assert model.push_cost(1000).total < model.allgather_cost(8, 1000).total
+
+
+class TestTopologyStatistics:
+    def test_star_average_hops_exact(self):
+        # n=5: 4 spoke pairs at 1 hop, 6 spoke-spoke pairs at 2 hops.
+        assert star_topology(5).average_hops() == pytest.approx((4 * 1 + 6 * 2) / 10)
+
+    def test_ring_latency_scale_is_diameter(self):
+        topo = ring_topology(8)
+        assert topo.latency_scale() == pytest.approx(topo.diameter_hops())
+        assert topo.latency_scale() == pytest.approx(4.0)
+
+    def test_tree_average_below_diameter(self):
+        topo = tree_topology(16)
+        assert topo.average_hops() < topo.diameter_hops()

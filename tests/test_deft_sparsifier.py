@@ -195,3 +195,75 @@ class TestAblations:
         assert not np.array_equal(ks_norm, ks_uniform)
         # The loud layer gets more budget under the norm-aware rule.
         assert ks_norm[0] >= ks_uniform[0]
+
+
+class TestRobustNorms:
+    """--robust-norms: median-of-norms k assignment in the coordinate phase."""
+
+    def test_shared_norms_computed_and_gathered(self, small_layout):
+        sparsifier = DEFTSparsifier(0.05, robust_norms=True)
+        sparsifier.setup(small_layout, 4)
+        backend = SimulatedBackend(4)
+        accs = make_accs(small_layout, 4)
+        sparsifier.coordinate(0, accs, backend)
+        assert sparsifier._shared_norms is not None
+        assert sparsifier._shared_norms.shape == (len(sparsifier.partitions),)
+        assert backend.meter.call_count(tag="deft-norms") == 1
+
+    def test_byzantine_delegate_cannot_grab_budget(self, small_layout):
+        """Iteration 3's delegate is rank 3.  When that worker inflates one
+        layer's accumulator by 1e6, the non-robust allocation assigns that
+        layer (nearly) the whole budget; the robust one does not."""
+        n_workers = 4
+        accs = make_accs(small_layout, n_workers)
+        accs[3] = accs[3].copy()
+        inflated = slice(small_layout.offsets[0], small_layout.offsets[0] + small_layout.sizes[0])
+        accs[3][inflated] *= 1e6
+
+        def k_in_inflated_layer(sparsifier):
+            sparsifier.setup(small_layout, n_workers)
+            sparsifier.coordinate(3, accs, SimulatedBackend(n_workers))
+            ks = sparsifier._assign_k(accs[3], 3)
+            end = small_layout.offsets[0] + small_layout.sizes[0]
+            return sum(
+                int(k) for k, p in zip(ks, sparsifier.partitions) if p.start < end
+            ), int(ks.sum())
+
+        grabbed, total_plain = k_in_inflated_layer(DEFTSparsifier(0.05))
+        robust, total_robust = k_in_inflated_layer(DEFTSparsifier(0.05, robust_norms=True))
+        # Algorithm 3's one-slot floor leaves each other partition a single
+        # gradient, so "the whole budget" means everything above that floor.
+        assert grabbed >= 0.8 * total_plain
+        assert robust < 0.6 * total_robust
+
+    def test_benign_selection_stays_disjoint(self, small_layout):
+        sparsifier = DEFTSparsifier(0.05, robust_norms=True)
+        sparsifier.setup(small_layout, 4)
+        accs = make_accs(small_layout, 4)
+        sparsifier.coordinate(0, accs, SimulatedBackend(4))
+        all_indices = []
+        for rank in range(4):
+            result = sparsifier.select(0, rank, accs[rank])
+            all_indices.append(result.indices)
+        union = np.concatenate(all_indices)
+        assert len(union) == len(np.unique(union))
+
+    def test_robust_norms_shared_across_workers(self, small_layout):
+        """With the statistic coordinated, every worker assigns the same
+        per-partition k, matching the allocation's cost assumptions."""
+        sparsifier = DEFTSparsifier(0.05, robust_norms=True)
+        sparsifier.setup(small_layout, 4)
+        accs = make_accs(small_layout, 4)
+        sparsifier.coordinate(0, accs, SimulatedBackend(4))
+        ks = [sparsifier._assign_k(accs[rank], 0) for rank in range(4)]
+        for other in ks[1:]:
+            np.testing.assert_array_equal(ks[0], other)
+
+    def test_off_by_default_and_standalone_fallback(self, small_layout, small_acc):
+        sparsifier = DEFTSparsifier(0.05)
+        assert sparsifier.robust_norms is False
+        robust = DEFTSparsifier(0.05, robust_norms=True)
+        robust.setup(small_layout, 4)
+        # Standalone select without coordinate still works (local norms).
+        result = robust.select(0, 0, small_acc)
+        assert result.k_selected > 0

@@ -1,0 +1,70 @@
+"""Tests for the staleness grid experiment (execution x sparsifier x profile)."""
+
+import pytest
+
+from repro.experiments import staleness_grid
+
+
+class TestStalenessGridExperiment:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return staleness_grid.run(
+            scale="smoke",
+            executions=("synchronous", "async_bsp", "local_sgd"),
+            sparsifiers=("deft",),
+            profiles=("lognormal",),
+            n_workers=4,
+            epochs=1,
+            max_iterations_per_epoch=4,
+        )
+
+    def test_grid_structure(self, grid):
+        assert set(grid["cells"]) == {
+            "synchronous|deft|lognormal",
+            "async_bsp|deft|lognormal",
+            "local_sgd|deft|lognormal",
+        }
+        for cell in grid["cells"].values():
+            assert cell["loss"] is not None
+            assert cell["wallclock"] > 0
+
+    def test_sync_speedup_is_one(self, grid):
+        assert grid["cells"]["synchronous|deft|lognormal"]["speedup_vs_sync"] == pytest.approx(1.0)
+
+    def test_async_faster_than_sync_under_stragglers(self, grid):
+        """The headline claim of the execution subsystem."""
+        assert grid["cells"]["async_bsp|deft|lognormal"]["speedup_vs_sync"] > 1.0
+
+    def test_local_sgd_faster_than_sync(self, grid):
+        assert grid["cells"]["local_sgd|deft|lognormal"]["speedup_vs_sync"] > 1.0
+
+    def test_report_formats(self, grid):
+        report = staleness_grid.format_report(grid)
+        assert "async_bsp" in report
+        assert "lognormal" in report
+        assert "speedup" in report
+
+    def test_default_cells_cover_full_grid(self):
+        assert staleness_grid.DEFAULT_EXECUTIONS == (
+            "synchronous", "local_sgd", "async_bsp", "elastic",
+        )
+        assert "uniform" in staleness_grid.DEFAULT_PROFILES
+
+    def test_elastic_runs_once_per_profile(self):
+        """Elastic never uses the sparsifier, so sweeping it per sparsifier
+        would train identical cells twice; it appears once, labeled '-'."""
+        grid = staleness_grid.run(
+            scale="smoke",
+            executions=("synchronous", "elastic"),
+            sparsifiers=("deft", "topk"),
+            profiles=("uniform",),
+            n_workers=2,
+            epochs=1,
+            max_iterations_per_epoch=2,
+        )
+        assert set(grid["cells"]) == {
+            "synchronous|deft|uniform",
+            "synchronous|topk|uniform",
+            "elastic|-|uniform",
+        }
+        assert grid["cells"]["elastic|-|uniform"]["speedup_vs_sync"] is not None
