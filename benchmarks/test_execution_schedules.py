@@ -17,30 +17,40 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import (
+    ClusterSpec,
+    CompressionSpec,
+    ExecutionSpec,
+    OptimizerSpec,
+    RunSpec,
+    Session,
+)
 from repro.experiments import config as expcfg
-from repro.sparsifiers import build_sparsifier
-from repro.training.trainer import DistributedTrainer, TrainingConfig
 
 EXECUTIONS = ("synchronous", "local_sgd", "async_bsp", "elastic")
 
 N_WORKERS = 4
 ITERATIONS = 6
 
+SESSION = Session()
+
 
 def run_once(task, execution: str) -> float:
-    config = TrainingConfig(
-        n_workers=N_WORKERS,
-        batch_size=8,
-        epochs=1,
-        lr=0.2,
+    spec = RunSpec(
+        workload=expcfg.LM,
         seed=0,
-        max_iterations_per_epoch=ITERATIONS,
-        evaluate_each_epoch=False,
-        execution=execution,
-        straggler_profile="lognormal",
+        cluster=ClusterSpec(n_workers=N_WORKERS, straggler_profile="lognormal"),
+        optimizer=OptimizerSpec(
+            lr=0.2,
+            batch_size=8,
+            epochs=1,
+            max_iterations_per_epoch=ITERATIONS,
+            evaluate_each_epoch=False,
+        ),
+        compression=CompressionSpec(sparsifier="deft", density=0.05),
+        execution=ExecutionSpec(model=execution),
     )
-    trainer = DistributedTrainer(task, build_sparsifier("deft", 0.05), config)
-    return trainer.train().estimated_wallclock
+    return SESSION.run(spec, task=task).estimated_wallclock
 
 
 @pytest.fixture(scope="module")

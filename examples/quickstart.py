@@ -15,25 +15,29 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro.experiments.runner import run_training
+from repro.api import ClusterSpec, CompressionSpec, OptimizerSpec, RunSpec, Session
 
 DENSITY = 0.01
 N_WORKERS = 4
 
 
 def main() -> None:
+    # One Session caches the synthetic dataset across the three runs.
+    session = Session()
     results = {}
     for sparsifier in ("deft", "topk", "dense"):
         print(f"Training with {sparsifier} (density={DENSITY}, workers={N_WORKERS}) ...")
-        results[sparsifier] = run_training(
+        results[sparsifier] = session.run(RunSpec(
             workload="lm",
-            sparsifier_name=sparsifier,
-            density=DENSITY if sparsifier != "dense" else 1.0,
-            n_workers=N_WORKERS,
             scale="smoke",
-            epochs=2,
             seed=42,
-        )
+            cluster=ClusterSpec(n_workers=N_WORKERS),
+            optimizer=OptimizerSpec(epochs=2),
+            compression=CompressionSpec(
+                sparsifier=sparsifier,
+                density=DENSITY if sparsifier != "dense" else 1.0,
+            ),
+        ))
 
     print("\n=== Convergence (test perplexity, lower is better) ===")
     for name, result in results.items():

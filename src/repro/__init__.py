@@ -20,13 +20,22 @@ This package contains a complete, self-contained reproduction:
 - :mod:`repro.training` -- distributed SGD with error feedback (the paper's
   Algorithm 1),
 - :mod:`repro.analysis` / :mod:`repro.experiments` -- the measurement and
-  per-figure/table reproduction harness.
+  per-figure/table reproduction harness,
+- :mod:`repro.plugins` -- the unified capability-aware component registry
+  every extension axis (sparsifiers, aggregators, attacks, execution
+  models, models) registers into,
+- :mod:`repro.api` -- the stable Python facade: layered
+  :class:`~repro.api.RunSpec`, :class:`~repro.api.Session`, structured
+  :class:`~repro.api.RunResult`.
 
 Quickstart
 ----------
->>> from repro.experiments.runner import run_training
->>> result = run_training("lm", "deft", density=0.01, n_workers=4,
-...                       scale="smoke", epochs=1, max_iterations_per_epoch=5)
+>>> from repro.api import RunSpec, CompressionSpec, OptimizerSpec, run
+>>> result = run(RunSpec(
+...     workload="lm",
+...     compression=CompressionSpec(sparsifier="deft", density=0.01),
+...     optimizer=OptimizerSpec(epochs=1, max_iterations_per_epoch=5),
+... ))
 >>> 0 < result.mean_density() < 0.05
 True
 """

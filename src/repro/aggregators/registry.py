@@ -1,8 +1,12 @@
-"""Factory for aggregators, mirroring :mod:`repro.sparsifiers.registry`."""
+"""Aggregator registrations over the unified :mod:`repro.plugins` registry.
+
+Declares the built-in aggregation rules as
+:class:`~repro.plugins.ComponentSpec` entries and keeps the historical
+:func:`build_aggregator` / :func:`available_aggregators` helpers importable
+from their original location.
+"""
 
 from __future__ import annotations
-
-from typing import Callable, Dict
 
 from repro.aggregators.base import Aggregator
 from repro.aggregators.centered_clipping import CenteredClippingAggregator
@@ -12,19 +16,79 @@ from repro.aggregators.mean import MeanAggregator
 from repro.aggregators.median import MedianAggregator
 from repro.aggregators.staleness import StalenessWeightedMeanAggregator
 from repro.aggregators.trimmed_mean import TrimmedMeanAggregator
+from repro.plugins import ComponentSpec, Kwarg, available_components, build_component, register_component
 
 __all__ = ["build_aggregator", "available_aggregators"]
 
-_BUILDERS: Dict[str, Callable[..., Aggregator]] = {
-    "mean": MeanAggregator,
-    "median": MedianAggregator,
-    "trimmed_mean": TrimmedMeanAggregator,
-    "krum": KrumAggregator,
-    "multi_krum": MultiKrumAggregator,
-    "geometric_median": GeometricMedianAggregator,
-    "centered_clipping": CenteredClippingAggregator,
-    "staleness_weighted_mean": StalenessWeightedMeanAggregator,
-}
+KIND = "aggregator"
+
+
+def _register(name, builder, description, kwargs=(), **capabilities):
+    register_component(
+        ComponentSpec(
+            kind=KIND,
+            name=name,
+            builder=builder,
+            description=description,
+            kwargs=tuple(kwargs),
+            capabilities={
+                # Gather-based rules need every worker's vector at the
+                # aggregation point; the mean keeps the paper's sum
+                # all-reduce.  The trainer picks the collective from this.
+                "requires_gather": builder.requires_individual_contributions,
+                "robust": builder.is_robust,
+                **capabilities,
+            },
+        )
+    )
+
+
+_register("mean", MeanAggregator, "plain mean via sum all-reduce (the paper's Algorithm 1)")
+_register("median", MedianAggregator, "coordinate-wise median")
+_register(
+    "trimmed_mean",
+    TrimmedMeanAggregator,
+    "coordinate-wise trimmed mean",
+    kwargs=(Kwarg("trim", "int", None, "entries trimmed per side (None = n_byzantine)"),),
+)
+_register(
+    "krum",
+    KrumAggregator,
+    "Krum: the single contribution closest to its neighbours",
+    kwargs=(Kwarg("n_selected", "int", None, "override for the number of selected workers"),),
+)
+_register(
+    "multi_krum",
+    MultiKrumAggregator,
+    "Multi-Krum: mean of the m best-scored contributions",
+    kwargs=(Kwarg("n_selected", "int", None, "number of selected contributions (m)"),),
+)
+_register(
+    "geometric_median",
+    GeometricMedianAggregator,
+    "geometric median via Weiszfeld iterations",
+    kwargs=(
+        Kwarg("max_iterations", "int", 100, "Weiszfeld iteration cap"),
+        Kwarg("tolerance", "float", 1e-8, "convergence tolerance"),
+        Kwarg("eps", "float", 1e-12, "numerical floor for distances"),
+    ),
+)
+_register(
+    "centered_clipping",
+    CenteredClippingAggregator,
+    "iterative centered clipping around a running reference",
+    kwargs=(
+        Kwarg("tau", "float", 1.0, "clipping radius"),
+        Kwarg("clip_iterations", "int", 3, "clipping iterations per round"),
+    ),
+)
+_register(
+    "staleness_weighted_mean",
+    StalenessWeightedMeanAggregator,
+    "mean with (1+age)^-gamma decay of stale contributions",
+    kwargs=(Kwarg("gamma", "float", 1.0, "staleness decay exponent"),),
+    staleness_aware=True,
+)
 
 
 def build_aggregator(name: str, n_byzantine: int = 0, **kwargs) -> Aggregator:
@@ -40,12 +104,9 @@ def build_aggregator(name: str, n_byzantine: int = 0, **kwargs) -> Aggregator:
         Extra constructor arguments (e.g. ``tau=`` for
         ``centered_clipping``, ``trim=`` for ``trimmed_mean``).
     """
-    key = name.lower()
-    if key not in _BUILDERS:
-        raise KeyError(f"unknown aggregator {name!r}; available: {available_aggregators()}")
-    return _BUILDERS[key](n_byzantine=n_byzantine, **kwargs)
+    return build_component(KIND, name, n_byzantine=n_byzantine, **kwargs)
 
 
 def available_aggregators():
     """Sorted list of registered aggregator names."""
-    return sorted(_BUILDERS)
+    return available_components(KIND)

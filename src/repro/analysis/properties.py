@@ -16,9 +16,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.sparsifiers import build_sparsifier
+from repro.api import CompressionSpec, OptimizerSpec, ClusterSpec, RunSpec, Session
+from repro.plugins import get_component
 from repro.training.tasks import Task
-from repro.training.trainer import DistributedTrainer, TrainingConfig, TrainingResult
+from repro.training.trainer import TrainingResult
 
 __all__ = ["SparsifierProperties", "measure_properties"]
 
@@ -79,35 +80,45 @@ def measure_properties(
     workers) is performed per sparsifier on the same task and seed.
     """
     sparsifier_kwargs = sparsifier_kwargs or {}
+    session = Session()
     rows: List[SparsifierProperties] = []
     for name in sparsifier_names:
-        sparsifier = build_sparsifier(name, density, **sparsifier_kwargs.get(name, {}))
-        config = TrainingConfig(
-            n_workers=n_workers,
-            batch_size=batch_size,
-            epochs=1,
-            lr=lr,
+        spec = RunSpec(
+            workload=task.name,
             seed=seed,
-            max_iterations_per_epoch=iterations,
-            evaluate_each_epoch=False,
+            cluster=ClusterSpec(n_workers=n_workers),
+            optimizer=OptimizerSpec(
+                lr=lr,
+                batch_size=batch_size,
+                epochs=1,
+                max_iterations_per_epoch=iterations,
+                evaluate_each_epoch=False,
+            ),
+            compression=CompressionSpec(
+                sparsifier=name,
+                density=density,
+                kwargs=dict(sparsifier_kwargs.get(name, {})),
+            ),
         )
-        trainer = DistributedTrainer(task, sparsifier, config)
-        result = trainer.train()
-        rows.append(_row_from_result(name, sparsifier, result, density))
+        result = session.run(spec, task=task)
+        rows.append(_row_from_result(name, result.training, density))
     return rows
 
 
-def _row_from_result(name, sparsifier, result: TrainingResult, density: float) -> SparsifierProperties:
+def _row_from_result(name, result: TrainingResult, density: float) -> SparsifierProperties:
     densities = np.asarray(result.logger.series("density").values, dtype=np.float64)
     mean_density = float(densities.mean()) if densities.size else 0.0
     cv = float(densities.std() / mean_density) if mean_density > 0 else 0.0
     breakdown = result.timing.mean_breakdown()
+    # The design-fact columns come from the registry's declared
+    # capabilities -- the same source `repro describe` shows.
+    spec = get_component("sparsifier", name)
     return SparsifierProperties(
         name=name,
         buildup_factor=mean_density / density if density > 0 else 0.0,
         density_cv=cv,
-        hyperparameter_tuning=sparsifier.needs_hyperparameter_tuning,
-        worker_idling=sparsifier.has_worker_idling,
+        hyperparameter_tuning=bool(spec.capability("needs_hyperparameter_tuning")),
+        worker_idling=bool(spec.capability("worker_idling")),
         selection_seconds=breakdown["selection"],
         overhead_seconds=breakdown["partition"],
     )

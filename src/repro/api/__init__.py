@@ -1,0 +1,51 @@
+"""Stable Python API of the DEFT reproduction.
+
+This facade is the supported programmatic entry point: describe a run with
+a layered :class:`RunSpec`, execute it with :func:`run` (or a reusable
+:class:`Session`, which caches datasets across runs), and read the
+structured :class:`RunResult`.
+
+Quickstart::
+
+    from repro.api import RunSpec, CompressionSpec, run
+
+    result = run(RunSpec(
+        workload="lm",
+        compression=CompressionSpec(sparsifier="deft", density=0.01),
+    ))
+    print(result.final_metrics, result.estimated_wallclock)
+    print(result.to_json(indent=2))
+
+Specs round-trip through dicts, JSON and the CLI: ``RunSpec.from_json``,
+``spec.to_json()``, ``spec.to_argv()``.  Component discovery is exposed via
+:func:`Session.inventory` / :func:`describe_component` -- the same data as
+``repro list --json`` and ``repro describe <kind>/<name>``.
+
+The surface of this module (``repro.api.__all__`` plus the component
+inventory) is snapshot-tested against ``tests/fixtures/api_surface.json``;
+changing it intentionally means regenerating that fixture.
+"""
+
+from repro.api.result import RunResult
+from repro.api.session import Session, describe_component, run
+from repro.api.spec import (
+    ClusterSpec,
+    CompressionSpec,
+    ExecutionSpec,
+    OptimizerSpec,
+    RobustnessSpec,
+    RunSpec,
+)
+
+__all__ = [
+    "RunSpec",
+    "ClusterSpec",
+    "OptimizerSpec",
+    "CompressionSpec",
+    "RobustnessSpec",
+    "ExecutionSpec",
+    "RunResult",
+    "Session",
+    "run",
+    "describe_component",
+]

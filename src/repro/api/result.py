@@ -1,0 +1,93 @@
+"""Structured result of one :class:`~repro.api.Session` run.
+
+:class:`RunResult` wraps the trainer's :class:`~repro.training.trainer.
+TrainingResult` with the resolved :class:`~repro.api.RunSpec` that produced
+it and a communication-traffic summary, and adds a JSON serialisation for
+tooling.  Every accessor of the underlying ``TrainingResult`` (``series``,
+``final_metrics``, ``mean_density``, ``timing``, ...) is available directly
+on the wrapper, so experiment drivers written against the old return type
+keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.api.spec import RunSpec
+from repro.training.trainer import TrainingResult
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything one API run produced, with its provenance."""
+
+    #: The fully resolved spec the run actually executed.
+    spec: RunSpec
+    #: The underlying trainer result (loggers, timing, final metrics).
+    training: TrainingResult
+    #: Communication summary: total elements sent, per-tag breakdown and
+    #: the number of collective/point-to-point calls.
+    traffic: Dict[str, object] = field(default_factory=dict)
+
+    # -- TrainingResult surface (delegation) --------------------------- #
+    @property
+    def logger(self):
+        return self.training.logger
+
+    @property
+    def timing(self):
+        return self.training.timing
+
+    @property
+    def final_metrics(self) -> Dict[str, float]:
+        return self.training.final_metrics
+
+    @property
+    def iterations_run(self) -> int:
+        return self.training.iterations_run
+
+    @property
+    def epochs_run(self) -> int:
+        return self.training.epochs_run
+
+    @property
+    def estimated_wallclock(self) -> float:
+        return self.training.estimated_wallclock
+
+    def series(self, name: str):
+        return self.training.series(name)
+
+    def mean_density(self) -> float:
+        return self.training.mean_density()
+
+    def final_metric(self, name: str) -> Optional[float]:
+        return self.training.final_metric(name)
+
+    # -- structured views ---------------------------------------------- #
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """Alias of ``final_metrics`` for the structured-result surface."""
+        return self.training.final_metrics
+
+    @property
+    def wallclock(self) -> float:
+        """Modelled makespan of the run on the virtual clock (seconds)."""
+        return self.training.estimated_wallclock
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "final_metrics": {k: float(v) for k, v in self.final_metrics.items()},
+            "mean_density": float(self.mean_density()),
+            "iterations_run": int(self.iterations_run),
+            "epochs_run": int(self.epochs_run),
+            "estimated_wallclock": float(self.estimated_wallclock),
+            "traffic": self.traffic,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,140 @@
+"""The Session facade: the one place runs are built and executed.
+
+Every entry point -- the CLI, the experiment grids, the benchmarks, user
+code -- goes through :meth:`Session.run`, so construction order, seeding
+and component building are identical everywhere; a benign synchronous
+:class:`~repro.api.RunSpec` produces bit-identical metrics to constructing
+:class:`~repro.training.trainer.DistributedTrainer` by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.result import RunResult
+from repro.api.spec import RunSpec
+from repro.plugins import (
+    available_components,
+    build_component,
+    component_inventory,
+    component_kinds,
+    get_component,
+    load_builtin_components,
+)
+from repro.training.tasks import Task
+from repro.training.trainer import DistributedTrainer
+
+__all__ = ["Session", "run", "describe_component"]
+
+
+class Session:
+    """A stateful handle on the reproduction's run machinery.
+
+    Sessions cache the (expensive) synthetic datasets by
+    ``(workload, scale, seed)``, so sweeping many specs over the same
+    workload -- the Figures 3-5 pattern -- builds the data once.
+    """
+
+    def __init__(self, cache_tasks: bool = True) -> None:
+        self.cache_tasks = bool(cache_tasks)
+        self._tasks: Dict[Tuple[str, str, int], Task] = {}
+
+    # ------------------------------------------------------------------ #
+    def task_for(self, workload: str, scale: str = "smoke", seed: int = 0) -> Task:
+        """The synthetic task of a workload/scale/seed triple (cached)."""
+        # Imported lazily: repro.experiments re-exports the runner, which
+        # imports this package back.
+        from repro.experiments import config as expcfg
+
+        key = (workload, scale, int(seed))
+        if not self.cache_tasks:
+            return expcfg.make_task(workload, scale=scale, seed=seed)
+        if key not in self._tasks:
+            self._tasks[key] = expcfg.make_task(workload, scale=scale, seed=seed)
+        return self._tasks[key]
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        spec: RunSpec,
+        *,
+        task: Optional[Task] = None,
+        run_name: Optional[str] = None,
+    ) -> RunResult:
+        """Execute one run described by ``spec`` and return its result.
+
+        The spec is resolved (presets filled, capability matrix validated)
+        first, so invalid combinations fail before any model or dataset is
+        built.  ``task`` overrides the workload-derived dataset, for reuse
+        across runs sharing data.
+        """
+        resolved = spec.resolve()
+        if task is None:
+            task = self.task_for(resolved.workload, resolved.scale, resolved.seed)
+        sparsifier = build_component(
+            "sparsifier",
+            resolved.compression.sparsifier,
+            resolved.compression.density,
+            **resolved.compression.kwargs,
+        )
+        trainer = DistributedTrainer(
+            task,
+            sparsifier,
+            resolved.to_training_config(),
+            run_name=run_name or resolved.run_name,
+        )
+        training_result = trainer.train()
+        meter = trainer.backend.meter
+        traffic = {
+            "total_sent_elements": int(meter.total_sent()),
+            "by_tag": {tag: int(count) for tag, count in meter.by_tag().items()},
+            "calls": len(meter.records),
+        }
+        return RunResult(spec=resolved, training=training_result, traffic=traffic)
+
+    # ------------------------------------------------------------------ #
+    # Component introspection (the machine-readable surface of `repro
+    # list --json` / `repro describe`).
+    # ------------------------------------------------------------------ #
+    def kinds(self) -> List[str]:
+        return component_kinds()
+
+    def available(self, kind: str) -> List[str]:
+        return available_components(kind)
+
+    def describe(self, ref: str) -> dict:
+        """Describe one component by ``kind/name`` or bare ``name``."""
+        return describe_component(ref)
+
+    def inventory(self) -> Dict[str, List[dict]]:
+        return component_inventory()
+
+
+# ---------------------------------------------------------------------- #
+def run(spec: RunSpec, **kwargs) -> RunResult:
+    """One-shot convenience: ``Session().run(spec)``."""
+    return Session().run(spec, **kwargs)
+
+
+def describe_component(ref: str) -> dict:
+    """Machine-readable description of one component.
+
+    ``ref`` is either ``kind/name`` (``"sparsifier/deft"``) or a bare name,
+    which is searched across every kind and must be unambiguous.
+    """
+    load_builtin_components()
+    if "/" in ref:
+        kind, _, name = ref.partition("/")
+        return get_component(kind, name).to_dict()
+    matches = [
+        (kind, ref) for kind in component_kinds() if ref in available_components(kind)
+    ]
+    if not matches:
+        raise KeyError(
+            f"unknown component {ref!r}; use kind/name with kinds {component_kinds()}"
+        )
+    if len(matches) > 1:
+        refs = [f"{kind}/{name}" for kind, name in matches]
+        raise KeyError(f"ambiguous component {ref!r}; matches: {refs}")
+    kind, name = matches[0]
+    return get_component(kind, name).to_dict()

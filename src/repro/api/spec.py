@@ -1,0 +1,335 @@
+"""Layered run specification with dict/JSON/argv round-trips.
+
+:class:`RunSpec` replaces the flat keyword soup that used to be threaded
+through ``run_training`` and the CLI with five focused layers:
+
+- :class:`ClusterSpec` -- how many workers and how fast they are,
+- :class:`OptimizerSpec` -- SGD knobs and the training budget,
+- :class:`CompressionSpec` -- which sparsifier, at what density,
+- :class:`RobustnessSpec` -- aggregation rule, attack, Byzantine count,
+- :class:`ExecutionSpec` -- the schedule and its knobs.
+
+``None`` fields mean "use the workload/scale preset" (density, epochs,
+batch size, learning rate) or "use the execution model's declared default"
+(aggregator).  :meth:`RunSpec.resolve` fills every ``None``, runs the
+centralized capability validation from :mod:`repro.plugins.capabilities`,
+and returns a fully concrete spec; two specs that resolve equal describe
+the same run, whether they arrived via Python, a JSON file or a CLI argv.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.execution.straggler import STRAGGLER_PROFILES
+from repro.plugins import default_aggregator_for, validate_run_combination
+from repro.training.trainer import TrainingConfig
+
+
+def _expcfg():
+    # Imported lazily: repro.experiments re-exports the runner, which
+    # imports this package back -- a module-level import would be circular.
+    from repro.experiments import config as expcfg
+
+    return expcfg
+
+__all__ = [
+    "ClusterSpec",
+    "OptimizerSpec",
+    "CompressionSpec",
+    "RobustnessSpec",
+    "ExecutionSpec",
+    "RunSpec",
+]
+
+
+@dataclass
+class ClusterSpec:
+    """Simulated cluster: size and worker heterogeneity."""
+
+    n_workers: int = 4
+    #: Worker compute-speed profile: "uniform", "lognormal" or "straggler".
+    straggler_profile: str = "uniform"
+    #: Modelled compute seconds of one mini-batch on a nominal worker.
+    base_compute_seconds: float = 0.02
+
+
+@dataclass
+class OptimizerSpec:
+    """SGD knobs and the training budget.
+
+    ``lr``, ``batch_size`` and ``epochs`` default to the workload/scale
+    presets of :mod:`repro.experiments.config` when left ``None``.
+    """
+
+    lr: Optional[float] = None
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    batch_size: Optional[int] = None
+    epochs: Optional[int] = None
+    max_iterations_per_epoch: Optional[int] = None
+    evaluate_each_epoch: bool = True
+
+
+@dataclass
+class CompressionSpec:
+    """Gradient sparsification: which method, how sparse."""
+
+    sparsifier: str = "deft"
+    #: Target density ``d``; None = the paper's density for the workload.
+    density: Optional[float] = None
+    #: Extra sparsifier constructor arguments (schema-validated).
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RobustnessSpec:
+    """Aggregation rule and threat model.
+
+    ``aggregator=None`` resolves to the execution model's declared default
+    (``staleness_weighted_mean`` under ``async_bsp``, else ``mean``); an
+    explicit choice -- even ``"mean"`` -- is always honoured.
+    """
+
+    aggregator: Optional[str] = None
+    aggregator_kwargs: Dict[str, Any] = field(default_factory=dict)
+    attack: str = "none"
+    attack_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Number of Byzantine worker ranks (the last ranks of the group).
+    n_byzantine: int = 0
+
+
+@dataclass
+class ExecutionSpec:
+    """Training schedule and its knobs."""
+
+    model: str = "synchronous"
+    #: Local steps between averaging rounds (local_sgd / elastic).
+    local_steps: int = 4
+    #: Bounded-staleness window of the async schedule (0 = lock step).
+    max_staleness: int = 4
+    #: Extra execution-model constructor arguments (schema-validated).
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RunSpec:
+    """Complete description of one training run."""
+
+    workload: str = "lm"
+    scale: str = "smoke"
+    seed: int = 0
+    run_name: Optional[str] = None
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
+    compression: CompressionSpec = field(default_factory=CompressionSpec)
+    robustness: RobustnessSpec = field(default_factory=RobustnessSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+
+    # ------------------------------------------------------------------ #
+    # Resolution and validation.
+    # ------------------------------------------------------------------ #
+    def resolve(self) -> "RunSpec":
+        """Fill every preset-dependent ``None`` and validate the combination.
+
+        Returns a new, fully concrete spec; the original is untouched.
+        Two specs describing the same run resolve equal regardless of how
+        they were constructed (Python, dict/JSON, CLI argv).
+        """
+        expcfg = _expcfg()
+        compression = replace(
+            self.compression,
+            density=(
+                expcfg.default_density(self.workload)
+                if self.compression.density is None
+                else float(self.compression.density)
+            ),
+            kwargs=dict(self.compression.kwargs),
+        )
+        optimizer = replace(
+            self.optimizer,
+            lr=(
+                expcfg.default_lr(self.workload)
+                if self.optimizer.lr is None
+                else float(self.optimizer.lr)
+            ),
+            epochs=(
+                expcfg.default_epochs(self.workload, self.scale)
+                if self.optimizer.epochs is None
+                else int(self.optimizer.epochs)
+            ),
+            batch_size=(
+                expcfg.default_batch_size(self.workload, self.scale)
+                if self.optimizer.batch_size is None
+                else int(self.optimizer.batch_size)
+            ),
+        )
+        robustness = replace(
+            self.robustness,
+            aggregator=(
+                default_aggregator_for(self.execution.model)
+                if self.robustness.aggregator is None
+                else self.robustness.aggregator
+            ),
+            aggregator_kwargs=dict(self.robustness.aggregator_kwargs),
+            attack_kwargs=dict(self.robustness.attack_kwargs),
+        )
+        resolved = replace(
+            self,
+            cluster=replace(self.cluster),
+            optimizer=optimizer,
+            compression=compression,
+            robustness=robustness,
+            execution=replace(self.execution, kwargs=dict(self.execution.kwargs)),
+        )
+        resolved.validate()
+        return resolved
+
+    def validate(self) -> None:
+        """Run the centralized capability matrix on this spec.
+
+        Raises ``KeyError`` for unknown component names and ``ValueError``
+        for combinations some component refuses -- the same errors the
+        trainer would raise later, but before anything is built.
+        """
+        if self.cluster.straggler_profile not in STRAGGLER_PROFILES:
+            raise ValueError(
+                f"unknown straggler profile {self.cluster.straggler_profile!r}; "
+                f"available: {list(STRAGGLER_PROFILES)}"
+            )
+        validate_run_combination(
+            execution=self.execution.model,
+            aggregator=(
+                self.robustness.aggregator
+                if self.robustness.aggregator is not None
+                else default_aggregator_for(self.execution.model)
+            ),
+            attack=self.robustness.attack,
+            sparsifier=self.compression.sparsifier,
+            n_workers=self.cluster.n_workers,
+            n_byzantine=self.robustness.n_byzantine,
+            momentum=self.optimizer.momentum,
+            weight_decay=self.optimizer.weight_decay,
+            sparsifier_kwargs=self.compression.kwargs,
+            aggregator_kwargs=self.robustness.aggregator_kwargs,
+            attack_kwargs=self.robustness.attack_kwargs,
+            execution_kwargs=self.execution.kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversions.
+    # ------------------------------------------------------------------ #
+    def to_training_config(self) -> TrainingConfig:
+        """The flat trainer config of a *resolved* spec."""
+        return TrainingConfig(
+            n_workers=self.cluster.n_workers,
+            batch_size=self.optimizer.batch_size,
+            epochs=self.optimizer.epochs,
+            lr=self.optimizer.lr,
+            momentum=self.optimizer.momentum,
+            weight_decay=self.optimizer.weight_decay,
+            seed=self.seed,
+            max_iterations_per_epoch=self.optimizer.max_iterations_per_epoch,
+            evaluate_each_epoch=self.optimizer.evaluate_each_epoch,
+            aggregator=self.robustness.aggregator,
+            aggregator_kwargs=dict(self.robustness.aggregator_kwargs),
+            attack=self.robustness.attack,
+            attack_kwargs=dict(self.robustness.attack_kwargs),
+            n_byzantine=self.robustness.n_byzantine,
+            execution=self.execution.model,
+            execution_kwargs=dict(self.execution.kwargs),
+            local_steps=self.execution.local_steps,
+            max_staleness=self.execution.max_staleness,
+            straggler_profile=self.cluster.straggler_profile,
+            base_compute_seconds=self.cluster.base_compute_seconds,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_dict`; missing sections fall back to defaults."""
+        data = dict(data)
+        sections = {
+            "cluster": ClusterSpec,
+            "optimizer": OptimizerSpec,
+            "compression": CompressionSpec,
+            "robustness": RobustnessSpec,
+            "execution": ExecutionSpec,
+        }
+        kwargs: Dict[str, Any] = {}
+        for key, section_cls in sections.items():
+            if key in data:
+                kwargs[key] = section_cls(**data.pop(key))
+        kwargs.update(data)
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------ #
+    def to_argv(self) -> List[str]:
+        """``repro train`` argv reproducing this run exactly.
+
+        The spec is resolved first, so the argv is fully explicit; parsing
+        it back through the CLI and resolving yields an equal spec.
+        """
+        spec = self.resolve()
+        argv: List[str] = [
+            "train",
+            "--workload", spec.workload,
+            "--scale", spec.scale,
+            "--seed", str(spec.seed),
+            "--workers", str(spec.cluster.n_workers),
+            "--straggler-profile", spec.cluster.straggler_profile,
+            "--base-compute-seconds", repr(spec.cluster.base_compute_seconds),
+            "--sparsifier", spec.compression.sparsifier,
+            "--density", repr(spec.compression.density),
+            "--lr", repr(spec.optimizer.lr),
+            "--momentum", repr(spec.optimizer.momentum),
+            "--weight-decay", repr(spec.optimizer.weight_decay),
+            "--batch-size", str(spec.optimizer.batch_size),
+            "--epochs", str(spec.optimizer.epochs),
+            "--aggregator", spec.robustness.aggregator,
+            "--attack", spec.robustness.attack,
+            "--n-byzantine", str(spec.robustness.n_byzantine),
+            "--execution", spec.execution.model,
+            "--local-steps", str(spec.execution.local_steps),
+            "--max-staleness", str(spec.execution.max_staleness),
+        ]
+        if spec.optimizer.max_iterations_per_epoch is not None:
+            argv += ["--max-iterations-per-epoch", str(spec.optimizer.max_iterations_per_epoch)]
+        if not spec.optimizer.evaluate_each_epoch:
+            argv.append("--no-eval-each-epoch")
+        if spec.run_name:
+            argv += ["--run-name", spec.run_name]
+        for flag, kwargs in (
+            ("--sparsifier-arg", spec.compression.kwargs),
+            ("--aggregator-arg", spec.robustness.aggregator_kwargs),
+            ("--attack-arg", spec.robustness.attack_kwargs),
+            ("--execution-arg", spec.execution.kwargs),
+        ):
+            for key, value in sorted(kwargs.items()):
+                if value is None:
+                    continue
+                argv += [flag, f"{key}={_format_arg(value)}"]
+        return argv
+
+
+def _format_arg(value: Any) -> str:
+    """Render one kwargs value as the CLI's ``key=value`` right-hand side."""
+    if isinstance(value, enum.Enum):
+        value = value.value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

@@ -1,24 +1,73 @@
-"""Factory for attacks, mirroring :mod:`repro.aggregators.registry`."""
+"""Attack registrations over the unified :mod:`repro.plugins` registry.
+
+Declares the built-in adversaries as :class:`~repro.plugins.ComponentSpec`
+entries -- including the ``colluding`` / ``corrupts_data`` capability flags
+the centralized validation uses to refuse impossible attack/schedule pairs
+-- and keeps the historical :func:`build_attack` / :func:`available_attacks`
+helpers importable from their original location.
+"""
 
 from __future__ import annotations
-
-from typing import Callable, Dict
 
 from repro.attacks.alie import ALittleIsEnoughAttack
 from repro.attacks.base import Adversary, NoAttack
 from repro.attacks.gaussian_noise import GaussianNoiseAttack
 from repro.attacks.label_flip import LabelFlipAttack
 from repro.attacks.sign_flip import SignFlipAttack
+from repro.plugins import ComponentSpec, Kwarg, available_components, build_component, register_component
 
 __all__ = ["build_attack", "available_attacks"]
 
-_BUILDERS: Dict[str, Callable[..., Adversary]] = {
-    "none": NoAttack,
-    "sign_flip": SignFlipAttack,
-    "gaussian_noise": GaussianNoiseAttack,
-    "label_flip": LabelFlipAttack,
-    "alie": ALittleIsEnoughAttack,
-}
+KIND = "attack"
+
+
+def _register(name, builder, description, kwargs=()):
+    register_component(
+        ComponentSpec(
+            kind=KIND,
+            name=name,
+            builder=builder,
+            description=description,
+            kwargs=tuple(kwargs),
+            capabilities={
+                # Colluding attacks need a synchronized view of every
+                # worker's accumulator; data-poisoning attacks hook in
+                # before the gradient computation instead of after it.
+                "colluding": builder.colluding,
+                "corrupts_data": builder.corrupts_data,
+            },
+        )
+    )
+
+
+_register("none", NoAttack, "benign scenario: every hook is the identity")
+_register(
+    "sign_flip",
+    SignFlipAttack,
+    "negate and scale the Byzantine accumulators",
+    kwargs=(Kwarg("scale", "float", 3.0, "magnitude multiplier after the sign flip"),),
+)
+_register(
+    "gaussian_noise",
+    GaussianNoiseAttack,
+    "add (or substitute) Gaussian noise on Byzantine accumulators",
+    kwargs=(
+        Kwarg("std", "float", 0.1, "noise standard deviation"),
+        Kwarg("replace", "bool", False, "replace the accumulator instead of adding noise"),
+    ),
+)
+_register(
+    "label_flip",
+    LabelFlipAttack,
+    "data poisoning: rotate the labels of Byzantine batches",
+    kwargs=(Kwarg("num_labels", "int", None, "label count (None = infer from the batch)"),),
+)
+_register(
+    "alie",
+    ALittleIsEnoughAttack,
+    "A Little Is Enough: colluding perturbation inside the benign variance",
+    kwargs=(Kwarg("z", "float", None, "perturbation z-score (None = from group size)"),),
+)
 
 
 def build_attack(name: str, n_byzantine: int = 0, **kwargs) -> Adversary:
@@ -35,12 +84,9 @@ def build_attack(name: str, n_byzantine: int = 0, **kwargs) -> Adversary:
         Extra constructor arguments (e.g. ``scale=`` for ``sign_flip``,
         ``std=`` for ``gaussian_noise``).
     """
-    key = name.lower()
-    if key not in _BUILDERS:
-        raise KeyError(f"unknown attack {name!r}; available: {available_attacks()}")
-    return _BUILDERS[key](n_byzantine=n_byzantine, **kwargs)
+    return build_component(KIND, name, n_byzantine=n_byzantine, **kwargs)
 
 
 def available_attacks():
     """Sorted list of registered attack names."""
-    return sorted(_BUILDERS)
+    return available_components(KIND)

@@ -3,9 +3,12 @@
 Usage::
 
     python -m repro list                       # workloads, sparsifiers, aggregators, ...
+    python -m repro list --json                # machine-readable inventory
+    python -m repro describe sparsifier/deft   # one component's schema + capabilities
     python -m repro train --workload lm --sparsifier deft --density 0.01 --workers 4
     python -m repro train --workload cv --sparsifier deft --aggregator krum \
                           --attack sign_flip --n-byzantine 1
+    python -m repro train --sparsifier dgc --sparsifier-arg sample_ratio=0.2
     python -m repro run --execution async_bsp --straggler-profile lognormal
     python -m repro experiment fig09 --scale smoke
     python -m repro experiment robustness --scale smoke
@@ -14,19 +17,34 @@ Usage::
 
 (``run`` is an alias of ``train``.)
 
-Each sub-command prints a plain-text report; the ``experiment`` sub-command
-prints exactly the rows/series the corresponding paper figure or table shows.
+Every training command builds a :class:`repro.api.RunSpec` and executes it
+through the :class:`repro.api.Session` facade -- the CLI is a veneer over
+the same API user code calls.  Component-specific keyword arguments are not
+hand-threaded through argparse: the generic ``--sparsifier-arg`` /
+``--aggregator-arg`` / ``--attack-arg`` / ``--execution-arg key=value``
+options are parsed and type-coerced against the kwargs schema each
+component registered with :mod:`repro.plugins` (see ``repro describe
+<kind>/<name>`` for a component's accepted keys).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.aggregators import available_aggregators
-from repro.attacks import available_attacks
-from repro.execution import STRAGGLER_PROFILES, available_execution_models
+from repro import api
+from repro.api.spec import (
+    ClusterSpec,
+    CompressionSpec,
+    ExecutionSpec,
+    OptimizerSpec,
+    RobustnessSpec,
+    RunSpec,
+)
+from repro.execution import STRAGGLER_PROFILES
+from repro.plugins import default_aggregator_for
 from repro.experiments import (
     fig01_buildup,
     fig03_convergence,
@@ -43,10 +61,9 @@ from repro.experiments import (
     table2_workloads,
 )
 from repro.experiments import config as expcfg
-from repro.experiments.runner import run_training
-from repro.sparsifiers import available_sparsifiers
+from repro.plugins import available_components, component_inventory, get_component
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "spec_from_argv", "EXPERIMENTS"]
 
 #: Experiment name -> (module with run()/format_report(), description).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -66,12 +83,33 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+class _KeyValue(argparse.Action):
+    """Collect repeated ``key=value`` options into a dict."""
+
+    def __call__(self, parser, namespace, value, option_string=None):
+        key, sep, raw = value.partition("=")
+        if not sep or not key:
+            parser.error(f"{option_string} expects key=value, got {value!r}")
+        store = getattr(namespace, self.dest) or {}
+        store[key] = raw
+        setattr(namespace, self.dest, store)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command")
 
-    sub.add_parser("list", help="list workloads, sparsifiers and experiments")
+    list_cmd = sub.add_parser("list", help="list workloads, components and experiments")
+    list_cmd.add_argument("--json", action="store_true", dest="as_json",
+                          help="machine-readable inventory (names, kwargs schemas, "
+                               "capability flags)")
+
+    describe = sub.add_parser("describe", help="describe one registered component")
+    describe.add_argument("ref", help="component reference: kind/name (e.g. "
+                                      "sparsifier/deft) or an unambiguous bare name")
+    describe.add_argument("--json", action="store_true", dest="as_json",
+                          help="machine-readable output")
 
     for alias in ("train", "run"):
         train = sub.add_parser(
@@ -80,33 +118,68 @@ def _build_parser() -> argparse.ArgumentParser:
             + (" (alias of train)" if alias == "run" else ""),
         )
         train.add_argument("--workload", choices=sorted(expcfg.PAPER_WORKLOADS), default=expcfg.LM)
-        train.add_argument("--sparsifier", choices=available_sparsifiers(), default="deft")
-        train.add_argument("--density", type=float, default=None)
-        train.add_argument("--workers", type=int, default=4)
-        train.add_argument("--epochs", type=int, default=None)
         train.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
         train.add_argument("--seed", type=int, default=0)
-        train.add_argument("--aggregator", choices=available_aggregators(), default=None,
+        train.add_argument("--run-name", default=None, help="override the logged run name")
+        # Cluster.
+        train.add_argument("--workers", type=int, default=4)
+        train.add_argument("--straggler-profile", choices=STRAGGLER_PROFILES,
+                           default="uniform",
+                           help="worker compute-speed profile for the virtual clock")
+        train.add_argument("--base-compute-seconds", type=float, default=0.02,
+                           help="modelled compute seconds of one nominal mini-batch")
+        # Optimizer / budget.
+        train.add_argument("--lr", type=float, default=None,
+                           help="learning rate (default: the workload preset)")
+        train.add_argument("--momentum", type=float, default=0.0)
+        train.add_argument("--weight-decay", type=float, default=0.0)
+        train.add_argument("--batch-size", type=int, default=None)
+        train.add_argument("--epochs", type=int, default=None)
+        train.add_argument("--max-iterations-per-epoch", type=int, default=None)
+        train.add_argument("--no-eval-each-epoch", action="store_false",
+                           dest="evaluate_each_epoch",
+                           help="skip the per-epoch task-metric evaluation")
+        # Compression.
+        train.add_argument("--sparsifier", choices=available_components("sparsifier"),
+                           default="deft")
+        train.add_argument("--density", type=float, default=None)
+        train.add_argument("--sparsifier-arg", action=_KeyValue, dest="sparsifier_kwargs",
+                           metavar="KEY=VALUE", default=None,
+                           help="extra sparsifier kwarg (repeatable; see "
+                                "`repro describe sparsifier/<name>`)")
+        train.add_argument("--robust-norms", action="store_true",
+                           help="shorthand for --sparsifier-arg robust_norms=true "
+                                "(DEFT: assign k from the median of all workers' "
+                                "layer norms)")
+        # Robustness.
+        train.add_argument("--aggregator", choices=available_components("aggregator"),
+                           default=None,
                            help="aggregation rule for the per-worker contributions "
-                                "(default: mean; staleness_weighted_mean under "
-                                "async_bsp; an explicit choice is always honoured)")
-        train.add_argument("--attack", choices=available_attacks(), default="none",
+                                "(default: the execution model's declared default -- "
+                                "mean, or staleness_weighted_mean under async_bsp; "
+                                "an explicit choice is always honoured)")
+        train.add_argument("--aggregator-arg", action=_KeyValue, dest="aggregator_kwargs",
+                           metavar="KEY=VALUE", default=None,
+                           help="extra aggregator kwarg (repeatable)")
+        train.add_argument("--attack", choices=available_components("attack"),
+                           default="none",
                            help="attack corrupting the Byzantine workers")
+        train.add_argument("--attack-arg", action=_KeyValue, dest="attack_kwargs",
+                           metavar="KEY=VALUE", default=None,
+                           help="extra attack kwarg (repeatable)")
         train.add_argument("--n-byzantine", type=int, default=0,
                            help="number of Byzantine worker ranks (the last ranks)")
-        train.add_argument("--execution", choices=available_execution_models(),
+        # Execution.
+        train.add_argument("--execution", choices=available_components("execution"),
                            default="synchronous",
                            help="execution schedule driving the training loop")
+        train.add_argument("--execution-arg", action=_KeyValue, dest="execution_kwargs",
+                           metavar="KEY=VALUE", default=None,
+                           help="extra execution-model kwarg (repeatable)")
         train.add_argument("--local-steps", type=int, default=4,
                            help="local steps between averaging rounds (local_sgd/elastic)")
         train.add_argument("--max-staleness", type=int, default=4,
                            help="bounded-staleness window of async_bsp (0 = lock step)")
-        train.add_argument("--straggler-profile", choices=STRAGGLER_PROFILES,
-                           default="uniform",
-                           help="worker compute-speed profile for the virtual clock")
-        train.add_argument("--robust-norms", action="store_true",
-                           help="DEFT only: assign k from the median of all workers' "
-                                "layer norms instead of the delegate's own")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper figure/table")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -118,22 +191,107 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_list() -> int:
+# ---------------------------------------------------------------------- #
+def _coerced_kwargs(kind: str, name: str, raw: Optional[Dict[str, str]]) -> Dict:
+    """Type-coerce CLI ``key=value`` strings against the registered schema."""
+    if not raw:
+        return {}
+    return get_component(kind, name).coerce_kwargs(raw)
+
+
+def _spec_from_args(args) -> RunSpec:
+    """Assemble the layered RunSpec a parsed ``train`` namespace describes."""
+    sparsifier_kwargs = _coerced_kwargs("sparsifier", args.sparsifier, args.sparsifier_kwargs)
+    if args.robust_norms:
+        sparsifier_kwargs["robust_norms"] = True
+    return RunSpec(
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        run_name=args.run_name,
+        cluster=ClusterSpec(
+            n_workers=args.workers,
+            straggler_profile=args.straggler_profile,
+            base_compute_seconds=args.base_compute_seconds,
+        ),
+        optimizer=OptimizerSpec(
+            lr=args.lr,
+            momentum=args.momentum,
+            weight_decay=args.weight_decay,
+            batch_size=args.batch_size,
+            epochs=args.epochs,
+            max_iterations_per_epoch=args.max_iterations_per_epoch,
+            evaluate_each_epoch=args.evaluate_each_epoch,
+        ),
+        compression=CompressionSpec(
+            sparsifier=args.sparsifier,
+            density=args.density,
+            kwargs=sparsifier_kwargs,
+        ),
+        robustness=RobustnessSpec(
+            aggregator=args.aggregator,
+            aggregator_kwargs=_coerced_kwargs(
+                "aggregator",
+                # Unset --aggregator resolves to the execution model's
+                # declared default, so kwargs must be coerced against that
+                # same rule's schema (e.g. gamma= under async_bsp).
+                args.aggregator
+                if args.aggregator is not None
+                else default_aggregator_for(args.execution),
+                args.aggregator_kwargs,
+            ),
+            attack=args.attack,
+            attack_kwargs=_coerced_kwargs("attack", args.attack, args.attack_kwargs),
+            n_byzantine=args.n_byzantine,
+        ),
+        execution=ExecutionSpec(
+            model=args.execution,
+            local_steps=args.local_steps,
+            max_staleness=args.max_staleness,
+            kwargs=_coerced_kwargs("execution", args.execution, args.execution_kwargs),
+        ),
+    )
+
+
+def spec_from_argv(argv: List[str]) -> RunSpec:
+    """Parse a ``train``/``run`` argv into its RunSpec (the inverse of
+    :meth:`repro.api.RunSpec.to_argv`)."""
+    args = _build_parser().parse_args(argv)
+    if args.command not in ("train", "run"):
+        raise ValueError(f"expected a train/run argv, got command {args.command!r}")
+    return _spec_from_args(args)
+
+
+# ---------------------------------------------------------------------- #
+def _inventory_json() -> dict:
+    return {
+        "components": component_inventory(),
+        "workloads": sorted(expcfg.PAPER_WORKLOADS),
+        "scales": ["smoke", "repro"],
+        "straggler_profiles": list(STRAGGLER_PROFILES),
+        "experiments": {
+            name: description for name, (_, description) in sorted(EXPERIMENTS.items())
+        },
+    }
+
+
+def _command_list(as_json: bool = False) -> int:
+    if as_json:
+        print(json.dumps(_inventory_json(), indent=2, sort_keys=True))
+        return 0
     print("Workloads (Table 2):")
     for key, description in expcfg.PAPER_WORKLOADS.items():
         print(f"  {key:<4} {description.application}: {description.paper_model} / {description.paper_dataset}")
-    print("\nSparsifiers:")
-    for name in available_sparsifiers():
-        print(f"  {name}")
-    print("\nAggregators:")
-    for name in available_aggregators():
-        print(f"  {name}")
-    print("\nAttacks:")
-    for name in available_attacks():
-        print(f"  {name}")
-    print("\nExecution models:")
-    for name in available_execution_models():
-        print(f"  {name}")
+    for kind, title in (
+        ("sparsifier", "Sparsifiers"),
+        ("aggregator", "Aggregators"),
+        ("attack", "Attacks"),
+        ("execution", "Execution models"),
+        ("model", "Models"),
+    ):
+        print(f"\n{title}:")
+        for name in available_components(kind):
+            print(f"  {name}")
     print("\nStraggler profiles:")
     for name in STRAGGLER_PROFILES:
         print(f"  {name}")
@@ -143,35 +301,37 @@ def _command_list() -> int:
     return 0
 
 
-def _command_train(args) -> int:
-    sparsifier_kwargs = {}
-    if args.robust_norms:
-        if args.sparsifier != "deft":
-            print("error: --robust-norms only applies to the deft sparsifier", file=sys.stderr)
-            return 2
-        sparsifier_kwargs["robust_norms"] = True
+def _command_describe(ref: str, as_json: bool = False) -> int:
     try:
-        result = run_training(
-            args.workload,
-            args.sparsifier,
-            density=args.density,
-            n_workers=args.workers,
-            scale=args.scale,
-            epochs=args.epochs,
-            seed=args.seed,
-            aggregator=args.aggregator,
-            attack=args.attack,
-            n_byzantine=args.n_byzantine,
-            execution=args.execution,
-            local_steps=args.local_steps,
-            max_staleness=args.max_staleness,
-            straggler_profile=args.straggler_profile,
-            sparsifier_kwargs=sparsifier_kwargs,
-        )
+        info = api.describe_component(ref)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"{info['kind']}/{info['name']}: {info['description'] or '(no description)'}")
+    if info["kwargs"]:
+        print("kwargs:")
+        for kw in info["kwargs"]:
+            print(f"  {kw['name']:<22} {kw['type']:<6} default={kw['default']!r}  {kw['help']}")
+    else:
+        print("kwargs: (none)")
+    if info["capabilities"]:
+        print("capabilities:")
+        for flag, value in sorted(info["capabilities"].items()):
+            print(f"  {flag:<26} {value!r}")
+    return 0
+
+
+def _command_train(args) -> int:
+    try:
+        spec = _spec_from_args(args)
+        result = api.run(spec)
     except (ValueError, KeyError) as exc:
         # Invalid configuration (e.g. n_byzantine >= workers, trimmed_mean
         # over capacity, density out of range): report cleanly, exit 2.
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error: {exc if isinstance(exc, ValueError) else exc.args[0]}", file=sys.stderr)
         return 2
     scenario = ""
     if args.attack != "none" or args.aggregator not in (None, "mean"):
@@ -210,7 +370,9 @@ def main(argv: Optional[list] = None) -> int:
         parser.print_help()
         return 1
     if args.command == "list":
-        return _command_list()
+        return _command_list(as_json=args.as_json)
+    if args.command == "describe":
+        return _command_describe(args.ref, as_json=args.as_json)
     if args.command in ("train", "run"):
         return _command_train(args)
     if args.command == "experiment":

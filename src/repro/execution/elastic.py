@@ -49,24 +49,29 @@ class ElasticAveragingExecution(ExecutionModel):
         if self.elastic_alpha is None:
             # The EASGD paper's stability choice: beta/n with beta = 0.9.
             self.elastic_alpha = 0.9 / self.trainer.config.n_workers
-        # The elastic exchange updates the center directly and never goes
-        # through the trainer's optimizer, so these knobs would be silently
-        # dropped -- refuse them instead.
-        if self.trainer.config.momentum or self.trainer.config.weight_decay:
-            raise ValueError(
-                "the elastic schedule ignores momentum/weight_decay; "
-                "configure them to 0 or pick another execution model"
-            )
-        # Likewise the exchange carries parameters, not gradients: data
-        # poisoning applies (the batch hook runs before each local step),
-        # but accumulator-level attacks have nothing to corrupt here.
+        # The elastic exchange updates the center directly (never through
+        # the optimizer) and carries parameters, not gradients -- so
+        # momentum/weight_decay and accumulator-level attacks would be
+        # silently dropped.  Both refusals live with the capability
+        # declarations (supports_momentum / exchanges_gradients).
+        from repro.plugins.capabilities import (
+            check_execution_supports_attack,
+            check_execution_supports_optimizer,
+        )
+
+        check_execution_supports_optimizer(
+            self.name,
+            momentum=self.trainer.config.momentum,
+            weight_decay=self.trainer.config.weight_decay,
+        )
         adversary = self.trainer.adversary
-        if adversary.n_byzantine and not adversary.corrupts_data:
-            raise ValueError(
-                f"the {adversary.name!r} attack corrupts gradient accumulators, "
-                "which the elastic schedule never exchanges; use a data-poisoning "
-                "attack or another execution model"
-            )
+        check_execution_supports_attack(
+            self.name,
+            attack_name=adversary.name,
+            colluding=adversary.colluding,
+            corrupts_data=adversary.corrupts_data,
+            n_byzantine=adversary.n_byzantine,
+        )
 
     # ------------------------------------------------------------------ #
     def run(self) -> Dict[str, float]:

@@ -1,23 +1,80 @@
-"""Factory for execution models, mirroring :mod:`repro.sparsifiers.registry`."""
+"""Execution-model registrations over the unified :mod:`repro.plugins` registry.
+
+Declares the built-in schedules as :class:`~repro.plugins.ComponentSpec`
+entries.  The capability flags carried here replace the refuse-logic that
+used to live only inside the models' ``_post_bind`` hooks and the
+runner-level aggregator auto-selection:
+
+- ``synchronized_view``: whether all workers share an iteration (colluding
+  attacks require it; ``async_bsp`` cannot provide it),
+- ``exchanges_gradients``: whether gradient accumulators ever cross the
+  wire (``elastic`` exchanges parameters, so accumulator attacks are inert),
+- ``supports_momentum``: whether the optimizer's momentum/weight-decay
+  knobs take effect (``elastic`` bypasses the optimizer),
+- ``default_aggregator``: the aggregation rule a schedule runs with when
+  the config leaves it unset (``async_bsp`` weighs pushes by age).
+"""
 
 from __future__ import annotations
-
-from typing import Callable, Dict
 
 from repro.execution.async_bsp import AsyncBSPExecution
 from repro.execution.base import ExecutionModel
 from repro.execution.elastic import ElasticAveragingExecution
 from repro.execution.local_sgd import LocalSGDExecution
 from repro.execution.synchronous import SynchronousExecution
+from repro.plugins import ComponentSpec, Kwarg, available_components, build_component, register_component
 
 __all__ = ["build_execution_model", "available_execution_models"]
 
-_BUILDERS: Dict[str, Callable[..., ExecutionModel]] = {
-    "synchronous": SynchronousExecution,
-    "local_sgd": LocalSGDExecution,
-    "async_bsp": AsyncBSPExecution,
-    "elastic": ElasticAveragingExecution,
-}
+KIND = "execution"
+
+
+def _register(name, builder, description, kwargs=(), **capabilities):
+    register_component(
+        ComponentSpec(
+            kind=KIND,
+            name=name,
+            builder=builder,
+            description=description,
+            kwargs=tuple(kwargs),
+            capabilities={
+                "local_models": builder.has_local_models,
+                "parameter_server": builder.uses_parameter_server,
+                "synchronized_view": True,
+                "exchanges_gradients": True,
+                "supports_momentum": True,
+                "default_aggregator": None,
+                **capabilities,
+            },
+        )
+    )
+
+
+_register(
+    "synchronous",
+    SynchronousExecution,
+    "the paper's BSP loop (bit-identical to the pre-refactor trainer)",
+)
+_register(
+    "local_sgd",
+    LocalSGDExecution,
+    "H dense local steps per worker, then one sparsified averaging round",
+)
+_register(
+    "async_bsp",
+    AsyncBSPExecution,
+    "DOWNPOUR-style bounded-staleness push/pull against a parameter server",
+    synchronized_view=False,
+    default_aggregator="staleness_weighted_mean",
+)
+_register(
+    "elastic",
+    ElasticAveragingExecution,
+    "EASGD-style elastic averaging around a server-held center variable",
+    kwargs=(Kwarg("elastic_alpha", "float", None, "elastic force (None = 0.9 / n_workers)"),),
+    exchanges_gradients=False,
+    supports_momentum=False,
+)
 
 
 def build_execution_model(name: str, **kwargs) -> ExecutionModel:
@@ -32,14 +89,9 @@ def build_execution_model(name: str, **kwargs) -> ExecutionModel:
         model picks out the knobs it understands and ignores the rest, so
         callers can pass the whole :class:`TrainingConfig`-derived set.
     """
-    key = name.lower()
-    if key not in _BUILDERS:
-        raise KeyError(
-            f"unknown execution model {name!r}; available: {available_execution_models()}"
-        )
-    return _BUILDERS[key](**kwargs)
+    return build_component(KIND, name, **kwargs)
 
 
 def available_execution_models():
     """Sorted list of registered execution-model names."""
-    return sorted(_BUILDERS)
+    return available_components(KIND)

@@ -1,13 +1,30 @@
-"""Shared run helpers for the experiment drivers."""
+"""Shared run helpers for the experiment drivers.
+
+Both helpers are thin adapters from the historical flat keyword interface
+onto the :mod:`repro.api` facade: they assemble a layered
+:class:`~repro.api.RunSpec` and execute it through a
+:class:`~repro.api.Session`, so every experiment grid flows through the
+same entry point as the CLI and user code.  The returned
+:class:`~repro.api.RunResult` exposes the full ``TrainingResult`` surface
+(``series``, ``final_metrics``, ``timing``, ...), so existing drivers are
+unaffected by the richer return type.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.experiments import config as expcfg
-from repro.sparsifiers import build_sparsifier
+from repro.api import (
+    ClusterSpec,
+    CompressionSpec,
+    ExecutionSpec,
+    OptimizerSpec,
+    RobustnessSpec,
+    RunResult,
+    RunSpec,
+    Session,
+)
 from repro.training.tasks import Task
-from repro.training.trainer import DistributedTrainer, TrainingConfig, TrainingResult
 
 __all__ = ["run_training", "run_sparsifier_comparison"]
 
@@ -37,52 +54,54 @@ def run_training(
     max_staleness: int = 4,
     straggler_profile: str = "uniform",
     base_compute_seconds: float = 0.02,
-) -> TrainingResult:
+    session: Optional[Session] = None,
+) -> RunResult:
     """Train one (workload, sparsifier) pair and return its result.
 
     All arguments default to the workload/scale presets of
     :mod:`repro.experiments.config`; ``task`` can be passed to reuse an
     already-built dataset across several runs of the same experiment.
-    ``aggregator``, ``attack`` and ``n_byzantine`` select the robustness
-    scenario (see :mod:`repro.aggregators` and :mod:`repro.attacks`);
-    ``execution``, ``local_steps``, ``max_staleness`` and
-    ``straggler_profile`` select the schedule and the simulated cluster
-    heterogeneity (see :mod:`repro.execution`).
+    ``aggregator=None`` resolves to the execution model's declared default
+    (``staleness_weighted_mean`` under ``async_bsp``); an explicit choice
+    -- even ``"mean"`` -- is always honoured.
     """
-    if aggregator is None:
-        # The async server weighs pushes by age; a plain mean would treat a
-        # gradient computed s versions ago like a fresh one.  An *explicit*
-        # aggregator (even "mean") is always honoured.
-        aggregator = "staleness_weighted_mean" if execution == "async_bsp" else "mean"
-    density = expcfg.default_density(workload) if density is None else float(density)
-    epochs = expcfg.default_epochs(workload, scale) if epochs is None else int(epochs)
-    batch_size = expcfg.default_batch_size(workload, scale) if batch_size is None else int(batch_size)
-    lr = expcfg.default_lr(workload) if lr is None else float(lr)
-    task = task if task is not None else expcfg.make_task(workload, scale=scale, seed=seed)
-
-    sparsifier = build_sparsifier(sparsifier_name, density, **(sparsifier_kwargs or {}))
-    training_config = TrainingConfig(
-        n_workers=n_workers,
-        batch_size=batch_size,
-        epochs=epochs,
-        lr=lr,
+    spec = RunSpec(
+        workload=workload,
+        scale=scale,
         seed=seed,
-        max_iterations_per_epoch=max_iterations_per_epoch,
-        evaluate_each_epoch=evaluate_each_epoch,
-        aggregator=aggregator,
-        aggregator_kwargs=aggregator_kwargs or {},
-        attack=attack,
-        attack_kwargs=attack_kwargs or {},
-        n_byzantine=n_byzantine,
-        execution=execution,
-        execution_kwargs=execution_kwargs or {},
-        local_steps=local_steps,
-        max_staleness=max_staleness,
-        straggler_profile=straggler_profile,
-        base_compute_seconds=base_compute_seconds,
+        cluster=ClusterSpec(
+            n_workers=n_workers,
+            straggler_profile=straggler_profile,
+            base_compute_seconds=base_compute_seconds,
+        ),
+        optimizer=OptimizerSpec(
+            lr=lr,
+            batch_size=batch_size,
+            epochs=epochs,
+            max_iterations_per_epoch=max_iterations_per_epoch,
+            evaluate_each_epoch=evaluate_each_epoch,
+        ),
+        compression=CompressionSpec(
+            sparsifier=sparsifier_name,
+            density=density,
+            kwargs=dict(sparsifier_kwargs or {}),
+        ),
+        robustness=RobustnessSpec(
+            aggregator=aggregator,
+            aggregator_kwargs=dict(aggregator_kwargs or {}),
+            attack=attack,
+            attack_kwargs=dict(attack_kwargs or {}),
+            n_byzantine=n_byzantine,
+        ),
+        execution=ExecutionSpec(
+            model=execution,
+            local_steps=local_steps,
+            max_staleness=max_staleness,
+            kwargs=dict(execution_kwargs or {}),
+        ),
     )
-    trainer = DistributedTrainer(task, sparsifier, training_config)
-    return trainer.train()
+    session = session if session is not None else Session()
+    return session.run(spec, task=task)
 
 
 def run_sparsifier_comparison(
@@ -93,10 +112,11 @@ def run_sparsifier_comparison(
     scale: str = "smoke",
     seed: int = 0,
     **kwargs,
-) -> Dict[str, TrainingResult]:
+) -> Dict[str, RunResult]:
     """Train the same workload once per sparsifier (Figures 3-5 pattern)."""
-    task = expcfg.make_task(workload, scale=scale, seed=seed)
-    results: Dict[str, TrainingResult] = {}
+    session = Session()
+    task = session.task_for(workload, scale=scale, seed=seed)
+    results: Dict[str, RunResult] = {}
     for name in sparsifier_names:
         results[name] = run_training(
             workload,
@@ -106,6 +126,7 @@ def run_sparsifier_comparison(
             scale=scale,
             seed=seed,
             task=task,
+            session=session,
             **kwargs,
         )
     return results

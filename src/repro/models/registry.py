@@ -1,12 +1,16 @@
-"""Model registry mapping workload names to constructors.
+"""Model registrations over the unified :mod:`repro.plugins` registry.
 
 The experiment harness refers to models by name (``"resnet_cifar"``,
 ``"lstm_lm"``, ``"ncf"``), mirroring Table 2 of the paper.
+:func:`register_model` remains the public extension point (usable as a
+decorator or plain call, as before); it now registers into the shared
+:mod:`repro.plugins` registry so models show up in ``repro list --json``
+and ``repro describe`` next to every other component kind.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -15,22 +19,27 @@ from repro.models.mlp import MLP
 from repro.models.ncf import NeuralCollaborativeFiltering
 from repro.models.resnet import resnet_cifar
 from repro.nn.module import Module
+from repro.plugins import ComponentSpec, available_components, build_component, register_component
 
 __all__ = ["register_model", "build_model", "available_models"]
 
-_REGISTRY: Dict[str, Callable[..., Module]] = {}
+KIND = "model"
 
 
-def register_model(name: str, builder: Optional[Callable[..., Module]] = None):
+def register_model(name: str, builder: Optional[Callable[..., Module]] = None,
+                   description: str = ""):
     """Register a model builder under ``name``.
 
     Usable as a decorator (``@register_model("name")``) or a plain call.
     """
 
     def _register(fn: Callable[..., Module]) -> Callable[..., Module]:
-        if name in _REGISTRY:
-            raise KeyError(f"model {name!r} is already registered")
-        _REGISTRY[name] = fn
+        try:
+            register_component(
+                ComponentSpec(kind=KIND, name=name, builder=fn, description=description)
+            )
+        except KeyError:
+            raise KeyError(f"model {name!r} is already registered") from None
         return fn
 
     if builder is not None:
@@ -40,17 +49,19 @@ def register_model(name: str, builder: Optional[Callable[..., Module]] = None):
 
 def build_model(name: str, rng: Optional[np.random.Generator] = None, **kwargs) -> Module:
     """Instantiate a registered model by name."""
-    if name not in _REGISTRY:
-        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
-    return _REGISTRY[name](rng=rng, **kwargs)
+    return build_component(KIND, name, rng=rng, **kwargs)
 
 
 def available_models():
     """Names of all registered models, sorted."""
-    return sorted(_REGISTRY)
+    return available_components(KIND)
 
 
-register_model("mlp", lambda rng=None, **kw: MLP(rng=rng, **({"in_features": 32} | kw)))
-register_model("resnet_cifar", lambda rng=None, **kw: resnet_cifar(rng=rng, **kw))
-register_model("lstm_lm", lambda rng=None, **kw: LSTMLanguageModel(rng=rng, **kw))
-register_model("ncf", lambda rng=None, **kw: NeuralCollaborativeFiltering(rng=rng, **kw))
+register_model("mlp", lambda rng=None, **kw: MLP(rng=rng, **({"in_features": 32} | kw)),
+               description="small multilayer perceptron (tests and quickstart)")
+register_model("resnet_cifar", lambda rng=None, **kw: resnet_cifar(rng=rng, **kw),
+               description="residual CNN, stand-in for ResNet-18 on CIFAR-10")
+register_model("lstm_lm", lambda rng=None, **kw: LSTMLanguageModel(rng=rng, **kw),
+               description="LSTM language model, stand-in for the WikiText-2 LSTM")
+register_model("ncf", lambda rng=None, **kw: NeuralCollaborativeFiltering(rng=rng, **kw),
+               description="neural collaborative filtering, stand-in for NCF on MovieLens-20M")

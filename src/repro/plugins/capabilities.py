@@ -1,0 +1,160 @@
+"""Capability-driven cross-component validation.
+
+Before this module existed the rules governing which components may be
+combined lived in three different layers: ``TrainingConfig.__post_init__``
+(worker/Byzantine arithmetic), the execution models' ``_post_bind`` hooks
+(elastic rejecting momentum and gradient attacks, async rejecting colluding
+attacks) and the runner/CLI glue (async defaulting to the staleness-weighted
+aggregator).  Each rule is now a function of the *declared capabilities* of
+the registered components, stated once here.  The execution models delegate
+their ``_post_bind`` refusals to these helpers, and
+:meth:`repro.api.RunSpec.validate` runs the whole matrix up front, so every
+entry point -- CLI, Python API, direct trainer construction -- agrees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.plugins.registry import get_component
+
+__all__ = [
+    "default_aggregator_for",
+    "check_execution_supports_attack",
+    "check_execution_supports_optimizer",
+    "check_byzantine_count",
+    "validate_run_combination",
+]
+
+
+def default_aggregator_for(execution: str) -> str:
+    """The aggregation rule an execution model runs with when none is chosen.
+
+    Declared by the execution model's ``default_aggregator`` capability
+    (``async_bsp`` weighs pushes by age, so it declares
+    ``staleness_weighted_mean``); everything else defaults to the paper's
+    plain ``mean``.
+    """
+    spec = get_component("execution", execution)
+    return spec.capability("default_aggregator") or "mean"
+
+
+def check_byzantine_count(n_workers: int, n_byzantine: int) -> None:
+    """The group-size arithmetic previously in ``TrainingConfig``."""
+    if n_byzantine < 0:
+        raise ValueError(f"n_byzantine must be non-negative, got {n_byzantine}")
+    if n_byzantine >= n_workers and n_byzantine > 0:
+        raise ValueError(
+            f"n_byzantine={n_byzantine} leaves no benign worker out of {n_workers}"
+        )
+
+
+def check_execution_supports_attack(
+    execution: str,
+    *,
+    attack_name: str,
+    colluding: bool,
+    corrupts_data: bool,
+    n_byzantine: int,
+) -> None:
+    """Refuse attack/schedule pairs the schedule cannot actually host.
+
+    Driven by the execution model's ``synchronized_view`` (colluding attacks
+    need every worker's accumulator at one instant) and
+    ``exchanges_gradients`` (accumulator attacks corrupt what goes on the
+    wire; a parameter-exchanging schedule would silently neutralise them)
+    capabilities.
+    """
+    if not n_byzantine:
+        return
+    caps = get_component("execution", execution).capabilities
+    if colluding and not caps.get("synchronized_view", True):
+        raise ValueError(
+            f"the {attack_name!r} attack needs a synchronized group view; "
+            f"it is not supported under {execution}"
+        )
+    if not corrupts_data and not caps.get("exchanges_gradients", True):
+        raise ValueError(
+            f"the {attack_name!r} attack corrupts gradient accumulators, "
+            f"which the {execution} schedule never exchanges; use a "
+            "data-poisoning attack or another execution model"
+        )
+
+
+def check_execution_supports_optimizer(
+    execution: str, *, momentum: float, weight_decay: float
+) -> None:
+    """Refuse optimizer knobs a schedule would silently drop.
+
+    Driven by the ``supports_momentum`` capability (the elastic exchange
+    updates the center directly and never goes through the optimizer).
+    """
+    caps = get_component("execution", execution).capabilities
+    if caps.get("supports_momentum", True):
+        return
+    if momentum or weight_decay:
+        raise ValueError(
+            f"the {execution} schedule ignores momentum/weight_decay; "
+            "configure them to 0 or pick another execution model"
+        )
+
+
+def _check_component_kwargs(kind: str, name: str, kwargs: Optional[Mapping[str, Any]]) -> None:
+    if kwargs:
+        get_component(kind, name).coerce_kwargs(kwargs)
+
+
+def validate_run_combination(
+    *,
+    execution: str,
+    aggregator: str,
+    attack: str,
+    sparsifier: Optional[str] = None,
+    n_workers: int = 1,
+    n_byzantine: int = 0,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+    sparsifier_kwargs: Optional[Mapping[str, Any]] = None,
+    aggregator_kwargs: Optional[Mapping[str, Any]] = None,
+    attack_kwargs: Optional[Mapping[str, Any]] = None,
+    execution_kwargs: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """Run the full capability matrix for one prospective run.
+
+    Raises ``KeyError`` for unknown component names and ``ValueError`` for
+    combinations some component cannot host -- the same errors, with the
+    same messages, the trainer would raise later, but before anything is
+    built.
+    """
+    check_byzantine_count(n_workers, n_byzantine)
+
+    attack_spec = get_component("attack", attack)
+    check_execution_supports_attack(
+        execution,
+        attack_name=attack_spec.name,
+        colluding=bool(attack_spec.capability("colluding", False)),
+        corrupts_data=bool(attack_spec.capability("corrupts_data", False)),
+        n_byzantine=n_byzantine,
+    )
+    check_execution_supports_optimizer(
+        execution, momentum=momentum, weight_decay=weight_decay
+    )
+
+    get_component("aggregator", aggregator)
+    _check_component_kwargs("aggregator", aggregator, aggregator_kwargs)
+    _check_component_kwargs("attack", attack, attack_kwargs)
+    _check_component_kwargs("execution", execution, execution_kwargs)
+
+    if sparsifier is not None:
+        spec = get_component("sparsifier", sparsifier)
+        # The capability refusal goes first: "topk cannot do robust-norms"
+        # is more actionable than "topk has no robust_norms kwarg".
+        if (sparsifier_kwargs or {}).get("robust_norms") and not spec.capability(
+            "supports_robust_norms", False
+        ):
+            raise ValueError(
+                f"robust-norms is not supported by the {spec.name!r} sparsifier; "
+                "only sparsifiers with the supports_robust_norms capability "
+                "(deft) coordinate shared layer norms"
+            )
+        _check_component_kwargs("sparsifier", sparsifier, sparsifier_kwargs)

@@ -1,0 +1,140 @@
+"""Declarative component specifications.
+
+Every extension axis of the reproduction -- sparsifiers, aggregators,
+attacks, execution models, models -- registers its implementations as
+:class:`ComponentSpec` entries in one shared registry
+(:mod:`repro.plugins.registry`).  A spec carries everything the rest of the
+system needs to know about a component *without instantiating it*:
+
+- the builder callable and its keyword-argument schema (used by the CLI to
+  parse ``--sparsifier-arg key=value`` style options and by ``repro
+  describe`` to document them),
+- capability flags (``requires_gather``, ``colluding``,
+  ``supports_momentum``, ...) that drive the centralized cross-component
+  validation in :mod:`repro.plugins.capabilities` instead of ad-hoc checks
+  scattered across the trainer, the execution models and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+__all__ = ["Kwarg", "ComponentSpec"]
+
+#: Parsers for the string values the CLI passes as ``key=value`` pairs.
+_COERCERS: Dict[str, Callable[[str], Any]] = {
+    "int": int,
+    "float": float,
+    "str": str,
+}
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _coerce_bool(value: str) -> bool:
+    word = value.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    raise ValueError(f"expected a boolean (true/false), got {value!r}")
+
+
+@dataclass(frozen=True)
+class Kwarg:
+    """One keyword argument a component's builder accepts."""
+
+    name: str
+    #: One of ``"int"``, ``"float"``, ``"bool"``, ``"str"``.
+    type: str = "float"
+    default: Any = None
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in ("int", "float", "bool", "str"):
+            raise ValueError(
+                f"kwarg {self.name!r} has unsupported type {self.type!r}; "
+                "use int, float, bool or str"
+            )
+
+    def coerce(self, value: Any) -> Any:
+        """Parse a CLI string into this kwarg's type (non-strings pass through)."""
+        if not isinstance(value, str):
+            return value
+        if self.type == "bool":
+            return _coerce_bool(value)
+        return _COERCERS[self.type](value)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.type,
+            "default": self.default,
+            "help": self.help,
+        }
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Declarative description of one registered component."""
+
+    #: Component axis: "sparsifier", "aggregator", "attack", "execution", "model".
+    kind: str
+    #: Registry name (the key used by configs and the CLI).
+    name: str
+    #: Callable producing an instance; the kind-specific shims decide which
+    #: positional context (density, n_byzantine, ...) it is called with.
+    builder: Callable[..., Any]
+    #: One-line summary for ``repro list`` / ``repro describe``.
+    description: str = ""
+    #: Schema of the extra keyword arguments the builder accepts.
+    kwargs: Tuple[Kwarg, ...] = ()
+    #: Capability flags driving centralized cross-component validation
+    #: (e.g. ``requires_gather``, ``colluding``, ``supports_momentum``,
+    #: ``default_aggregator``).
+    capabilities: Mapping[str, Any] = field(default_factory=dict)
+
+    def capability(self, flag: str, default: Any = None) -> Any:
+        return self.capabilities.get(flag, default)
+
+    def kwarg_names(self) -> Tuple[str, ...]:
+        return tuple(kw.name for kw in self.kwargs)
+
+    def coerce_kwargs(self, raw: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate and type-coerce a kwargs mapping against the schema.
+
+        Unknown keys raise ``ValueError`` naming the accepted keys; string
+        values (from ``key=value`` CLI options) are parsed to the declared
+        type.
+        """
+        schema = {kw.name: kw for kw in self.kwargs}
+        out: Dict[str, Any] = {}
+        for key, value in raw.items():
+            if key not in schema:
+                known = sorted(schema) if schema else "none"
+                raise ValueError(
+                    f"unknown {self.kind} kwarg {key!r} for {self.name!r}; "
+                    f"accepted: {known}"
+                )
+            try:
+                out[key] = schema[key].coerce(value)
+            except ValueError as exc:
+                raise ValueError(
+                    f"invalid value for {self.kind} kwarg {key!r} of {self.name!r}: {exc}"
+                ) from exc
+        return out
+
+    def build(self, *args: Any, **kwargs: Any) -> Any:
+        return self.builder(*args, **kwargs)
+
+    def to_dict(self) -> dict:
+        """JSON-able description (``repro list --json`` / ``repro describe``)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "description": self.description,
+            "kwargs": [kw.to_dict() for kw in self.kwargs],
+            "capabilities": dict(self.capabilities),
+        }

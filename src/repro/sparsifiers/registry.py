@@ -1,9 +1,14 @@
-"""Factory for sparsifiers, keyed by the names used in the paper's figures."""
+"""Sparsifier registrations, keyed by the names used in the paper's figures.
+
+The registry itself lives in :mod:`repro.plugins`; this module declares the
+built-in sparsifiers as :class:`~repro.plugins.ComponentSpec` entries and
+keeps the historical :func:`build_sparsifier` / :func:`available_sparsifiers`
+helpers importable from their original location.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
-
+from repro.plugins import ComponentSpec, Kwarg, available_components, build_component, register_component
 from repro.sparsifiers.base import Sparsifier
 from repro.sparsifiers.cltk import CLTKSparsifier
 from repro.sparsifiers.deft import DEFTSparsifier
@@ -18,18 +23,71 @@ from repro.sparsifiers.topk import TopKSparsifier
 
 __all__ = ["build_sparsifier", "available_sparsifiers"]
 
-_BUILDERS: Dict[str, Callable[..., Sparsifier]] = {
-    "topk": TopKSparsifier,
-    "cltk": CLTKSparsifier,
-    "hard_threshold": HardThresholdSparsifier,
-    "sidco": SIDCoSparsifier,
-    "randomk": RandomKSparsifier,
-    "dense": DenseSparsifier,
-    "deft": DEFTSparsifier,
-    "dgc": DGCSparsifier,
-    "gaussiank": GaussianKSparsifier,
-    "gtopk": GlobalTopKSparsifier,
-}
+KIND = "sparsifier"
+
+
+def _register(name, builder, description, kwargs=(), **capabilities):
+    register_component(
+        ComponentSpec(
+            kind=KIND,
+            name=name,
+            builder=builder,
+            description=description,
+            kwargs=tuple(kwargs),
+            capabilities={
+                "gradient_buildup": builder.has_gradient_buildup,
+                "needs_hyperparameter_tuning": builder.needs_hyperparameter_tuning,
+                "worker_idling": builder.has_worker_idling,
+                **capabilities,
+            },
+        )
+    )
+
+
+_register("topk", TopKSparsifier, "classic per-worker local Top-k")
+_register("cltk", CLTKSparsifier, "cyclic local top-k (ScaleCom), leader broadcasts indices")
+_register(
+    "hard_threshold",
+    HardThresholdSparsifier,
+    "fixed-threshold selection",
+    kwargs=(Kwarg("threshold", "float", None, "fixed magnitude threshold (None = calibrate)"),),
+)
+_register(
+    "sidco",
+    SIDCoSparsifier,
+    "multi-stage statistical threshold estimation",
+    kwargs=(Kwarg("n_stages", "int", 3, "number of estimation stages"),),
+)
+_register("randomk", RandomKSparsifier, "random-k control baseline")
+_register("dense", DenseSparsifier, "select everything (non-sparsified reference)")
+_register(
+    "deft",
+    DEFTSparsifier,
+    "the paper's proposal: disjoint per-worker fragments (Algorithms 2-5)",
+    kwargs=(
+        Kwarg("allocation_policy", "str", "bin_packing",
+              "layer-to-worker policy: bin_packing, round_robin or size_only"),
+        Kwarg("norm_proportional_k", "bool", True,
+              "assign local k by layer gradient norm (Algorithm 3) vs layer size"),
+        Kwarg("two_stage", "bool", True,
+              "split oversized layers before allocation (Algorithm 2 stage two)"),
+        Kwarg("robust_norms", "bool", False,
+              "run Algorithm 3 on the median of all workers' layer norms"),
+    ),
+    supports_robust_norms=True,
+)
+_register(
+    "dgc",
+    DGCSparsifier,
+    "DGC-style sampled Top-k threshold",
+    kwargs=(
+        Kwarg("sample_ratio", "float", 0.1, "fraction of entries sampled for the threshold"),
+        Kwarg("refine", "bool", True, "refine the sampled threshold on overshoot"),
+        Kwarg("overshoot_tolerance", "float", 1.5, "allowed overshoot before refinement"),
+    ),
+)
+_register("gaussiank", GaussianKSparsifier, "Gaussian-quantile threshold estimation")
+_register("gtopk", GlobalTopKSparsifier, "gTop-k global merge of local selections")
 
 
 def build_sparsifier(name: str, density: float, **kwargs) -> Sparsifier:
@@ -45,12 +103,9 @@ def build_sparsifier(name: str, density: float, **kwargs) -> Sparsifier:
         Extra constructor arguments (e.g. ``threshold=`` for
         ``hard_threshold``, ``allocation_policy=`` for ``deft``).
     """
-    key = name.lower()
-    if key not in _BUILDERS:
-        raise KeyError(f"unknown sparsifier {name!r}; available: {available_sparsifiers()}")
-    return _BUILDERS[key](density, **kwargs)
+    return build_component(KIND, name, density, **kwargs)
 
 
 def available_sparsifiers():
     """Sorted list of registered sparsifier names."""
-    return sorted(_BUILDERS)
+    return available_components(KIND)

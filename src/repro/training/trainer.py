@@ -95,7 +95,12 @@ class TrainingConfig:
     #: Optional learning-rate schedule overriding the constant ``lr``.
     lr_schedule: Optional[LRSchedule] = None
     #: Aggregation rule applied to the per-worker contributions (step 6).
-    aggregator: str = "mean"
+    #: None resolves to the execution model's declared default at
+    #: construction time (``staleness_weighted_mean`` under ``async_bsp``,
+    #: the paper's ``mean`` everywhere else), so *every* entry point --
+    #: CLI, API facade, or a directly constructed config -- agrees.  An
+    #: explicit choice (even ``"mean"``) is always honoured.
+    aggregator: Optional[str] = None
     #: Extra constructor arguments for the aggregator.
     aggregator_kwargs: Dict = field(default_factory=dict)
     #: Attack corrupting the Byzantine subset of workers ("none" = benign).
@@ -120,13 +125,9 @@ class TrainingConfig:
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
-        n_byzantine = int(self.n_byzantine)
-        if n_byzantine < 0:
-            raise ValueError(f"n_byzantine must be non-negative, got {self.n_byzantine}")
-        if n_byzantine >= self.n_workers and n_byzantine > 0:
-            raise ValueError(
-                f"n_byzantine={n_byzantine} leaves no benign worker out of {self.n_workers}"
-            )
+        from repro.plugins.capabilities import check_byzantine_count
+
+        check_byzantine_count(self.n_workers, int(self.n_byzantine))
         if self.local_steps < 1:
             raise ValueError(f"local_steps must be >= 1, got {self.local_steps}")
         if self.max_staleness < 0:
@@ -138,6 +139,13 @@ class TrainingConfig:
             )
         if self.base_compute_seconds <= 0:
             raise ValueError("base_compute_seconds must be positive")
+        if self.aggregator is None:
+            # Imported lazily for the same reason the trainer imports the
+            # execution registry lazily: the registry pulls in the concrete
+            # execution models, which import training submodules.
+            from repro.plugins.capabilities import default_aggregator_for
+
+            self.aggregator = default_aggregator_for(self.execution)
 
     def schedule(self) -> LRSchedule:
         return self.lr_schedule if self.lr_schedule is not None else ConstantLR(self.lr)

@@ -1,0 +1,56 @@
+"""API-surface snapshot check.
+
+Guards the public surface against accidental breakage: the names exported
+by :mod:`repro.api` and the full component inventory (names, kwargs
+schemas, capability flags) are compared against the committed fixture
+``tests/fixtures/api_surface.json``.  An *intentional* surface change must
+regenerate the fixture by running this module as a script::
+
+    PYTHONPATH=src python tests/test_api_surface.py
+
+and the fixture diff then documents the change for review.
+"""
+
+import json
+from pathlib import Path
+
+import repro.api
+from repro.plugins import component_inventory
+
+FIXTURE = Path(__file__).parent / "fixtures" / "api_surface.json"
+
+
+def current_surface() -> dict:
+    """The snapshot-tested public surface."""
+    return {
+        "api_all": sorted(repro.api.__all__),
+        "components": component_inventory(),
+    }
+
+
+def test_api_surface_matches_fixture():
+    recorded = json.loads(FIXTURE.read_text())
+    surface = current_surface()
+    assert surface["api_all"] == recorded["api_all"], (
+        "repro.api.__all__ changed; if intentional, regenerate "
+        "tests/fixtures/api_surface.json (see module docstring)"
+    )
+    assert surface["components"] == recorded["components"], (
+        "the registered component inventory (names, kwargs schemas or "
+        "capability flags) changed; if intentional, regenerate "
+        "tests/fixtures/api_surface.json (see module docstring)"
+    )
+
+
+def test_cli_json_inventory_agrees_with_fixture():
+    """`repro list --json` must expose exactly the recorded components."""
+    from repro.cli import _inventory_json
+
+    recorded = json.loads(FIXTURE.read_text())
+    assert _inventory_json()["components"] == recorded["components"]
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration helper
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(current_surface(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}")

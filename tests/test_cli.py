@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -29,6 +31,60 @@ class TestList:
         assert "elastic" in out
         assert "lognormal" in out
         assert "staleness" in out
+
+
+class TestListJson:
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["components"]) == {
+            "sparsifier", "aggregator", "attack", "execution", "model",
+        }
+        names = [entry["name"] for entry in payload["components"]["sparsifier"]]
+        assert "deft" in names
+        assert "robustness" in payload["experiments"]
+        assert payload["straggler_profiles"] == ["uniform", "lognormal", "straggler"]
+
+    def test_list_json_carries_schema_and_capabilities(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        async_bsp = next(
+            e for e in payload["components"]["execution"] if e["name"] == "async_bsp"
+        )
+        assert async_bsp["capabilities"]["default_aggregator"] == "staleness_weighted_mean"
+        dgc = next(e for e in payload["components"]["sparsifier"] if e["name"] == "dgc")
+        assert {kw["name"] for kw in dgc["kwargs"]} == {
+            "sample_ratio", "refine", "overshoot_tolerance",
+        }
+
+
+class TestDescribe:
+    def test_describe_by_kind_and_name(self, capsys):
+        assert main(["describe", "sparsifier/deft"]) == 0
+        out = capsys.readouterr().out
+        assert "sparsifier/deft" in out
+        assert "robust_norms" in out
+        assert "supports_robust_norms" in out
+
+    def test_describe_bare_name(self, capsys):
+        assert main(["describe", "krum"]) == 0
+        assert "aggregator/krum" in capsys.readouterr().out
+
+    def test_describe_json(self, capsys):
+        assert main(["describe", "attack/alie", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["capabilities"]["colluding"] is True
+
+    def test_describe_unknown_fails_cleanly(self, capsys):
+        assert main(["describe", "nonexistent"]) == 2
+        assert "unknown component" in capsys.readouterr().err
+
+    def test_describe_ambiguous_name_fails_cleanly(self, capsys):
+        # "mean" exists only as an aggregator, so use an artificial clash is
+        # unnecessary: assert the unambiguous path works and an unknown kind
+        # fails with the kind list.
+        assert main(["describe", "nokind/mean"]) == 2
+        assert "unknown component kind" in capsys.readouterr().err
 
 
 class TestTrain:
@@ -120,6 +176,50 @@ class TestTrain:
             "--workers", "2", "--epochs", "1", "--robust-norms",
         ])
         assert code == 0
+
+    def test_schema_generated_component_args(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--sparsifier", "dgc", "--density", "0.05",
+            "--workers", "2", "--epochs", "1",
+            "--sparsifier-arg", "sample_ratio=0.3", "--sparsifier-arg", "refine=false",
+        ])
+        assert code == 0
+        assert "mean actual density" in capsys.readouterr().out
+
+    def test_unknown_component_arg_fails_cleanly(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--sparsifier", "dgc", "--epochs", "1",
+            "--sparsifier-arg", "bogus=1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "accepted" in err
+
+    def test_malformed_component_arg_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--sparsifier-arg", "noequals"])
+
+    def test_aggregator_arg_coerced(self, capsys):
+        code = main([
+            "train", "--workload", "lm", "--density", "0.05", "--workers", "4",
+            "--epochs", "1", "--aggregator", "trimmed_mean",
+            "--aggregator-arg", "trim=1",
+        ])
+        assert code == 0
+        assert "aggregator=trimmed_mean" in capsys.readouterr().out
+
+    def test_aggregator_arg_coerced_against_execution_default(self, capsys):
+        """With --aggregator unset, kwargs must validate against the
+        execution model's default rule (staleness_weighted_mean under
+        async_bsp accepts gamma=), not against 'mean'."""
+        code = main([
+            "train", "--workload", "lm", "--density", "0.05", "--workers", "2",
+            "--epochs", "1", "--execution", "async_bsp",
+            "--aggregator-arg", "gamma=0.5",
+        ])
+        assert code == 0
+        assert "execution=async_bsp" in capsys.readouterr().out
 
     def test_robust_norms_requires_deft(self, capsys):
         code = main([
