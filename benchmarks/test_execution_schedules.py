@@ -8,6 +8,10 @@ selection.  The virtual wall-clock each schedule *models* is asserted
 separately (async under stragglers must beat BSP); the benchmark times the
 simulation itself.
 
+Each cell executes through :func:`repro.sweep.run_sweep` (serial, cache
+off) -- the same dispatch path the experiment grids use -- so the numbers
+include the engine's per-cell overhead and keep it honest.
+
 Run with::
 
     pytest benchmarks/test_execution_models.py --benchmark-only -q
@@ -26,17 +30,19 @@ from repro.api import (
     Session,
 )
 from repro.experiments import config as expcfg
+from repro.sweep import run_sweep
 
 EXECUTIONS = ("synchronous", "local_sgd", "async_bsp", "elastic")
 
 N_WORKERS = 4
 ITERATIONS = 6
 
+#: Shared serial session: the LM dataset is built once for every schedule.
 SESSION = Session()
 
 
-def run_once(task, execution: str) -> float:
-    spec = RunSpec(
+def make_spec(execution: str) -> RunSpec:
+    return RunSpec(
         workload=expcfg.LM,
         seed=0,
         cluster=ClusterSpec(n_workers=N_WORKERS, straggler_profile="lognormal"),
@@ -50,24 +56,25 @@ def run_once(task, execution: str) -> float:
         compression=CompressionSpec(sparsifier="deft", density=0.05),
         execution=ExecutionSpec(model=execution),
     )
-    return SESSION.run(spec, task=task).estimated_wallclock
 
 
-@pytest.fixture(scope="module")
-def lm_task():
-    return expcfg.make_task(expcfg.LM, scale="smoke", seed=0)
+def run_once(execution: str) -> float:
+    report = run_sweep([make_spec(execution)], jobs=1, session=SESSION)
+    (outcome,) = report.outcomes
+    assert outcome.error is None, outcome.error
+    return outcome.result.estimated_wallclock
 
 
 @pytest.mark.parametrize("execution", EXECUTIONS)
-def test_execution_schedule_overhead(benchmark, lm_task, execution):
+def test_execution_schedule_overhead(benchmark, execution):
     benchmark.group = "execution-epoch"
-    wallclock = benchmark(lambda: run_once(lm_task, execution))
+    wallclock = benchmark(lambda: run_once(execution))
     assert wallclock > 0
 
 
-def test_async_models_lower_wallclock_than_sync(lm_task):
+def test_async_models_lower_wallclock_than_sync():
     """Sanity relationship (not timing-asserted): under lognormal stragglers
     the bounded-staleness schedule models a shorter makespan than BSP."""
-    sync = run_once(lm_task, "synchronous")
-    async_ = run_once(lm_task, "async_bsp")
+    sync = run_once("synchronous")
+    async_ = run_once("async_bsp")
     assert async_ < sync

@@ -1,0 +1,133 @@
+"""Benchmark the sweep engine: serial vs parallel vs cached cells/sec.
+
+Runs the smoke robustness grid (attack x aggregator x sparsifier) three
+ways through :func:`repro.sweep.run_sweep` -- serially, on a process pool,
+and from a fully warmed result cache -- verifies the parallel results are
+bit-identical to serial and that the cached pass executes zero cells, and
+emits ``BENCH_sweep.json`` so CI tracks the perf trajectory::
+
+    PYTHONPATH=src python scripts/bench_sweep.py --jobs 4
+    PYTHONPATH=src python scripts/bench_sweep.py --epochs 1 \
+        --max-iterations-per-epoch 2 --out BENCH_sweep.json
+
+The parallel speedup scales with the machine's cores (the grid cells are
+independent, fully-seeded work units); the JSON records ``cpu_count`` so
+numbers from different machines are comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.experiments import config as expcfg
+from repro.experiments.robustness_grid import (
+    DEFAULT_AGGREGATORS,
+    DEFAULT_ATTACKS,
+    DEFAULT_SPARSIFIERS,
+)
+from repro.sweep import ResultCache, expand_grid, run_sweep
+
+
+def build_grid(args) -> dict:
+    return {
+        "base": {
+            "workload": args.workload,
+            "scale": args.scale,
+            "cluster": {"n_workers": args.workers},
+            "optimizer": {
+                "epochs": args.epochs,
+                "max_iterations_per_epoch": args.max_iterations_per_epoch,
+            },
+            "robustness": {"n_byzantine": args.n_byzantine},
+        },
+        "axes": {
+            "compression.sparsifier": list(DEFAULT_SPARSIFIERS),
+            "robustness.aggregator": list(DEFAULT_AGGREGATORS),
+            "robustness.attack": list(DEFAULT_ATTACKS),
+        },
+    }
+
+
+def timed(label: str, fn):
+    start = time.perf_counter()
+    report = fn()
+    seconds = time.perf_counter() - start
+    failures = report.failures()
+    if failures:
+        raise SystemExit(f"{label}: {len(failures)} cells failed: {failures[0].error}")
+    print(f"  {label:<9} {seconds:7.2f}s  {len(report) / seconds:7.2f} cells/s  "
+          f"{report.counts()}")
+    return report, seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default=expcfg.LM)
+    parser.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="simulated workers per cell")
+    parser.add_argument("--n-byzantine", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=1)
+    parser.add_argument("--max-iterations-per-epoch", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="process-pool width of the parallel pass")
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    expansion = expand_grid(build_grid(args))
+    n_cells = len(expansion.specs)
+    print(f"smoke robustness grid: {n_cells} cells "
+          f"({len(expansion.pruned)} pruned), jobs={args.jobs}, "
+          f"cpu_count={os.cpu_count()}")
+
+    serial, serial_s = timed("serial", lambda: run_sweep(expansion.specs, jobs=1))
+    parallel, parallel_s = timed(
+        "parallel", lambda: run_sweep(expansion.specs, jobs=args.jobs)
+    )
+
+    identical = all(
+        s.result.to_dict() == p.result.to_dict()
+        for s, p in zip(serial.outcomes, parallel.outcomes)
+    )
+    if not identical:
+        raise SystemExit("parallel results are NOT bit-identical to serial")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(root=tmp)
+        for outcome in serial.outcomes:
+            cache.put(outcome.spec, outcome.result)
+        cached, cached_s = timed(
+            "cached", lambda: run_sweep(expansion.specs, jobs=1, cache=cache)
+        )
+        if cached.counts()["run"] != 0:
+            raise SystemExit("cached pass executed cells; expected all hits")
+
+    payload = {
+        "benchmark": "sweep",
+        "workload": args.workload,
+        "scale": args.scale,
+        "cells": n_cells,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "serial": {"seconds": serial_s, "cells_per_second": n_cells / serial_s},
+        "parallel": {"seconds": parallel_s, "cells_per_second": n_cells / parallel_s},
+        "cached": {"seconds": cached_s, "cells_per_second": n_cells / cached_s},
+        "speedup_parallel_vs_serial": serial_s / parallel_s,
+        "speedup_cached_vs_serial": serial_s / cached_s,
+        "bit_identical": identical,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"parallel speedup {payload['speedup_parallel_vs_serial']:.2f}x, "
+          f"cached speedup {payload['speedup_cached_vs_serial']:.1f}x; "
+          f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

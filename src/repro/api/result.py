@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.api.spec import RunSpec
+from repro.training.timing import TimingAccumulator
 from repro.training.trainer import TrainingResult
+from repro.utils.logging import RunLogger
 
 __all__ = ["RunResult"]
 
@@ -32,6 +34,13 @@ class RunResult:
     #: Communication summary: total elements sent, per-tag breakdown and
     #: the number of collective/point-to-point calls.
     traffic: Dict[str, object] = field(default_factory=dict)
+    #: True when this result was rehydrated from a serialised summary
+    #: (:meth:`from_dict` -- e.g. a sweep-cache hit or a worker-process
+    #: return) rather than produced by a live trainer.  Rehydrated results
+    #: expose the full summary surface (``final_metrics``,
+    #: ``mean_density()``, ``estimated_wallclock``, ``traffic``) but not
+    #: the per-iteration series of the original run.
+    cached: bool = False
 
     # -- TrainingResult surface (delegation) --------------------------- #
     @property
@@ -91,3 +100,35 @@ class RunResult:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rehydrate a result from its :meth:`to_dict` summary.
+
+        The summary carries the resolved spec, the final metrics and the
+        scalar aggregates -- not the per-iteration series -- so the
+        reconstructed result answers everything the experiment drivers and
+        the sweep engine ask (``final_metrics``, ``mean_density()``,
+        ``iterations_run``, ``estimated_wallclock``, ``traffic``) and
+        round-trips: ``RunResult.from_dict(d).to_dict() == d``.
+        """
+        spec = RunSpec.from_dict(data["spec"])
+        logger = RunLogger(run_name=spec.run_name or "cached-run")
+        # One synthetic point reproduces the stored mean so the
+        # ``mean_density()`` accessor (a series mean on live results)
+        # answers identically on the rehydrated summary.
+        logger.log_scalar("density", 0, float(data["mean_density"]))
+        training = TrainingResult(
+            logger=logger,
+            timing=TimingAccumulator(),
+            final_metrics={k: float(v) for k, v in data["final_metrics"].items()},
+            iterations_run=int(data["iterations_run"]),
+            epochs_run=int(data["epochs_run"]),
+            estimated_wallclock=float(data["estimated_wallclock"]),
+        )
+        return cls(
+            spec=spec,
+            training=training,
+            traffic=dict(data.get("traffic", {})),
+            cached=True,
+        )

@@ -9,7 +9,8 @@ and component building are identical everywhere; a benign synchronous
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 from repro.api.result import RunResult
 from repro.api.spec import RunSpec
@@ -32,16 +33,35 @@ class Session:
 
     Sessions cache the (expensive) synthetic datasets by
     ``(workload, scale, seed)``, so sweeping many specs over the same
-    workload -- the Figures 3-5 pattern -- builds the data once.
+    workload -- the Figures 3-5 pattern -- builds the data once.  The cache
+    is LRU-bounded (``max_cached_tasks``): a long sweep over many seeds
+    re-derives evicted tasks from their ``(workload, scale, seed)`` key
+    instead of growing memory without limit.
     """
 
-    def __init__(self, cache_tasks: bool = True) -> None:
+    #: Default bound on cached tasks; a sweep axis over more seeds than
+    #: this evicts least-recently-used datasets rather than holding every
+    #: one alive for the whole sweep.
+    DEFAULT_MAX_CACHED_TASKS = 8
+
+    def __init__(
+        self, cache_tasks: bool = True, max_cached_tasks: Optional[int] = None
+    ) -> None:
         self.cache_tasks = bool(cache_tasks)
-        self._tasks: Dict[Tuple[str, str, int], Task] = {}
+        self.max_cached_tasks = (
+            self.DEFAULT_MAX_CACHED_TASKS if max_cached_tasks is None else int(max_cached_tasks)
+        )
+        if self.max_cached_tasks < 1:
+            raise ValueError("max_cached_tasks must be >= 1")
+        self._tasks: "OrderedDict[Tuple[str, str, int], Task]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     def task_for(self, workload: str, scale: str = "smoke", seed: int = 0) -> Task:
-        """The synthetic task of a workload/scale/seed triple (cached)."""
+        """The synthetic task of a workload/scale/seed triple (LRU-cached).
+
+        Tasks are derived purely from the key, so eviction is always safe:
+        a later request rebuilds an identical dataset.
+        """
         # Imported lazily: repro.experiments re-exports the runner, which
         # imports this package back.
         from repro.experiments import config as expcfg
@@ -49,9 +69,14 @@ class Session:
         key = (workload, scale, int(seed))
         if not self.cache_tasks:
             return expcfg.make_task(workload, scale=scale, seed=seed)
-        if key not in self._tasks:
-            self._tasks[key] = expcfg.make_task(workload, scale=scale, seed=seed)
-        return self._tasks[key]
+        if key in self._tasks:
+            self._tasks.move_to_end(key)
+            return self._tasks[key]
+        task = expcfg.make_task(workload, scale=scale, seed=seed)
+        self._tasks[key] = task
+        while len(self._tasks) > self.max_cached_tasks:
+            self._tasks.popitem(last=False)
+        return task
 
     # ------------------------------------------------------------------ #
     def run(

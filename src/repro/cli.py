@@ -14,6 +14,8 @@ Usage::
     python -m repro experiment robustness --scale smoke
     python -m repro experiment staleness --scale smoke
     python -m repro sweep --scale smoke        # every figure/table in one go
+    python -m repro sweep --spec grid.json --jobs 4          # parallel grid
+    python -m repro sweep --spec grid.json --no-cache --out results.json
 
 (``run`` is an alias of ``train``.)
 
@@ -185,8 +187,28 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
 
-    sweep = sub.add_parser("sweep", help="regenerate every figure/table")
-    sweep.add_argument("--scale", choices=("smoke", "repro"), default="smoke")
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a grid of RunSpecs through the parallel sweep engine "
+             "(--spec grid.json), or regenerate every figure/table",
+    )
+    sweep.add_argument("--scale", choices=("smoke", "repro"), default="smoke",
+                       help="scale of the figure/table regeneration (no --spec)")
+    sweep.add_argument("--spec", dest="grid_path", default=None, metavar="GRID.json",
+                       help="grid declaration: {'base': {...}, 'axes': "
+                            "{'robustness.aggregator': ['mean', 'krum'], "
+                            "'robustness.attack': {'components': 'attack'}}, "
+                            "'specs': [...]} -- see the README's Sweeps section")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes dispatching the grid cells "
+                            "(1 = serial in-process)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="skip the spec-addressed result cache entirely")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result-cache location (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro/results)")
+    sweep.add_argument("--out", default=None, metavar="RESULTS.json",
+                       help="write the per-cell result summaries as JSON")
 
     return parser
 
@@ -362,6 +384,82 @@ def _command_sweep(scale: str) -> int:
     return 0
 
 
+def _cell_label(spec) -> str:
+    """Compact one-line description of a sweep cell for terminal output."""
+    parts = [
+        spec.workload,
+        spec.compression.sparsifier,
+        f"agg={spec.robustness.aggregator}",
+        f"atk={spec.robustness.attack}",
+        f"exe={spec.execution.model}",
+        f"seed={spec.seed}",
+    ]
+    return " ".join(parts)
+
+
+def _command_sweep_grid(args) -> int:
+    from repro.sweep import ResultCache, expand_grid, load_grid, run_sweep
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        grid = load_grid(args.grid_path)
+        expansion = expand_grid(grid)
+    except (OSError, ValueError, KeyError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    for pruned in expansion.pruned:
+        print(f"pruned: {_cell_label(pruned.spec)} -- {pruned.reason}")
+    if not expansion.specs:
+        print("error: the grid expanded to zero runnable cells", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    print(f"sweeping {len(expansion.specs)} cells "
+          f"(jobs={args.jobs}, cache={'off' if cache is None else cache.root})")
+
+    def _progress(outcome) -> None:
+        if outcome.error is not None:
+            print(f"  [error] {_cell_label(outcome.spec)} -- {outcome.error}")
+            return
+        metrics = ", ".join(
+            f"{key}={value:.4f}" for key, value in sorted(outcome.result.final_metrics.items())
+        )
+        print(f"  [{outcome.source:>5}] {_cell_label(outcome.spec)}  {metrics}  "
+              f"({outcome.seconds:.2f}s)")
+
+    report = run_sweep(expansion.specs, jobs=args.jobs, cache=cache, progress=_progress)
+    counts = report.counts()
+    print(f"done in {report.seconds:.2f}s: {counts['run']} run, "
+          f"{counts['cache']} cached, {counts['error']} failed, "
+          f"{len(expansion.pruned)} pruned "
+          f"({report.cells_per_second():.2f} cells/s)")
+    if args.out:
+        payload = {
+            "cells": [
+                {
+                    "spec": outcome.spec.to_dict(),
+                    "source": outcome.source,
+                    "error": outcome.error,
+                    "result": outcome.result.to_dict() if outcome.result else None,
+                    "seconds": outcome.seconds,
+                }
+                for outcome in report.outcomes
+            ],
+            "pruned": [
+                {"spec": pruned.spec.to_dict(), "reason": pruned.reason}
+                for pruned in expansion.pruned
+            ],
+            "jobs": report.jobs,
+            "seconds": report.seconds,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 1 if counts["error"] else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Entry point used by ``python -m repro``."""
     parser = _build_parser()
@@ -378,6 +476,8 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "experiment":
         return _command_experiment(args.name, args.scale)
     if args.command == "sweep":
+        if args.grid_path:
+            return _command_sweep_grid(args)
         return _command_sweep(args.scale)
     parser.error(f"unknown command {args.command!r}")
     return 2

@@ -61,6 +61,24 @@ class CollectiveBackend:
         """Reduce one scalar per rank to a single value (e.g. mean loss)."""
         raise NotImplementedError
 
+    # -- row-matrix conveniences ----------------------------------------- #
+    # The trainer's hot path passes its per-worker contributions as one
+    # (n_workers, m) matrix, row r belonging to rank r.  These defaults
+    # delegate to the list-based collectives, so any backend implementing
+    # the interface above works unchanged; in-process backends may override
+    # them to skip per-rank result copies (see SimulatedBackend).
+    def allgather_rows(self, matrix: np.ndarray, tag: str = "") -> np.ndarray:
+        """Allgather a row-per-rank matrix; returns the full (n, m) matrix."""
+        rows = np.asarray(matrix)
+        gathered = self.allgather(list(rows), tag=tag)
+        return gathered[0].reshape(rows.shape)
+
+    def allreduce_rows(
+        self, matrix: np.ndarray, op: ReduceOp = ReduceOp.SUM, tag: str = ""
+    ) -> np.ndarray:
+        """Allreduce the rows of a row-per-rank matrix; returns one (m,) vector."""
+        return self.allreduce(list(np.asarray(matrix)), op, tag=tag)[0]
+
     def barrier(self) -> None:
         """Synchronise all ranks (a no-op for the in-process backend)."""
         raise NotImplementedError

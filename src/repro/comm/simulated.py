@@ -71,6 +71,58 @@ class SimulatedBackend(CollectiveBackend):
         self.meter.record("allreduce", sent, received, tag=tag)
         return [reduced.copy() for _ in range(self.n_workers)]
 
+    # ------------------------------------------------------------------ #
+    # Row-matrix fast paths for the trainer's per-iteration hot loop.  The
+    # lock-step simulation means every rank "receives" the same memory, so
+    # these record exactly the meter entry of their list-based equivalent
+    # (same op, same sent/received sizes -- the cost model prices them
+    # identically) but skip materialising one copy of the payload per rank.
+    # Callers must treat the returned arrays as read-only shared views.
+    def allgather_rows(self, matrix: np.ndarray, tag: str = "") -> np.ndarray:
+        """Metered allgather of a ``(n_workers, m)`` row-per-rank matrix.
+
+        Equivalent to ``allgather(list(matrix))[0].reshape(n_workers, m)``
+        without the concatenation and the per-rank copies.
+        """
+        rows = np.asarray(matrix)
+        if rows.ndim != 2:
+            raise ValueError(f"expected a (n_workers, m) matrix, got shape {rows.shape}")
+        self._check_ranks(rows)
+        m = int(rows.shape[1])
+        self.meter.record(
+            "allgather", [m] * self.n_workers, [m * self.n_workers] * self.n_workers, tag=tag
+        )
+        return rows
+
+    def allreduce_rows(
+        self, matrix: np.ndarray, op: ReduceOp = ReduceOp.SUM, tag: str = ""
+    ) -> np.ndarray:
+        """Metered allreduce over the rows of a ``(n_workers, m)`` matrix.
+
+        Equivalent to ``allreduce(list(matrix))[0]`` without the per-rank
+        result copies; the reduction itself matches ``_reduce`` on the
+        stacked rows bit for bit (same ``ndarray.sum``-family kernels).
+        """
+        rows = np.asarray(matrix)
+        if rows.ndim != 2:
+            raise ValueError(f"expected a (n_workers, m) matrix, got shape {rows.shape}")
+        self._check_ranks(rows)
+        # ``_reduce`` would np.stack the rows back into exactly this matrix;
+        # reduce it directly (same kernels, same result, no copy).
+        if op is ReduceOp.SUM:
+            reduced = rows.sum(axis=0)
+        elif op is ReduceOp.MEAN:
+            reduced = rows.mean(axis=0)
+        elif op is ReduceOp.MAX:
+            reduced = rows.max(axis=0)
+        elif op is ReduceOp.MIN:
+            reduced = rows.min(axis=0)
+        else:
+            raise ValueError(f"unsupported reduce op {op!r}")
+        m = int(rows.shape[1])
+        self.meter.record("allreduce", [m] * self.n_workers, [int(reduced.size)] * self.n_workers, tag=tag)
+        return reduced
+
     def broadcast(self, value, root: int, tag: str = ""):
         if not 0 <= root < self.n_workers:
             raise ValueError(f"root {root} out of range for {self.n_workers} workers")

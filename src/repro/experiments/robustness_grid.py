@@ -10,14 +10,23 @@ of the plain mean's degradation each robust rule recovers:
 
 so ``recovered = 1`` means the rule fully restores the benign metric and
 ``recovered = 0`` means it does no better than the mean.
+
+The grid is executed through :mod:`repro.sweep`: cells the capability
+matrix refuses (e.g. a colluding attack under an asynchronous execution
+model) are pruned up front and reported as skipped rather than try/except-ed
+at run time, repeated cells can be served from the result cache, and
+``jobs > 1`` dispatches the grid to worker processes with bit-identical
+results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import config as expcfg
-from repro.experiments.runner import run_training
+from repro.experiments.runner import build_run_spec
+from repro.plugins import combination_refusal, valid_grid_cells
+from repro.sweep import ResultCache, run_sweep
 
 __all__ = ["run", "format_report", "DEFAULT_AGGREGATORS", "DEFAULT_ATTACKS", "DEFAULT_SPARSIFIERS"]
 
@@ -41,35 +50,90 @@ def run(
     epochs: Optional[int] = None,
     seed: int = 0,
     max_iterations_per_epoch: Optional[int] = None,
+    execution: str = "synchronous",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict:
-    """Sweep the grid on one workload and return per-cell degradations."""
+    """Sweep the grid on one workload and return per-cell degradations.
+
+    ``execution`` selects the schedule every cell runs under; cells whose
+    attack the schedule cannot host are pruned by the capability matrix and
+    reported with a ``skipped`` reason.  ``jobs``/``cache`` are forwarded
+    to the sweep engine.
+    """
     density = expcfg.default_density(workload) if density is None else float(density)
     metric = _METRIC[workload]
     higher_better = _HIGHER_BETTER[workload]
-    task = expcfg.make_task(workload, scale=scale, seed=seed)
 
-    cells: Dict = {}
+    # Ask the registry which (execution x attack x aggregator) cells the
+    # declared capabilities accept; benign cells run with n_byzantine=0 and
+    # are always hostable.
+    valid = set(
+        valid_grid_cells(
+            [execution],
+            [attack for attack in attacks if attack != "none"],
+            aggregators,
+            n_workers=n_workers,
+            n_byzantine=n_byzantine,
+        )
+    )
+
+    keys: List[Tuple[str, str, str]] = []
+    specs = []
+    skipped: Dict[Tuple[str, str, str], str] = {}
     for sparsifier in sparsifiers:
         for aggregator in aggregators:
             for attack in attacks:
-                result = run_training(
-                    workload,
-                    sparsifier,
-                    density=density,
-                    n_workers=n_workers,
-                    scale=scale,
-                    epochs=epochs,
-                    seed=seed,
-                    max_iterations_per_epoch=max_iterations_per_epoch,
-                    task=task,
-                    aggregator=aggregator,
-                    attack=attack,
-                    n_byzantine=n_byzantine if attack != "none" else 0,
+                key = (sparsifier, aggregator, attack)
+                if attack != "none" and (execution, attack, aggregator) not in valid:
+                    skipped[key] = combination_refusal(
+                        execution=execution,
+                        attack=attack,
+                        aggregator=aggregator,
+                        n_workers=n_workers,
+                        n_byzantine=n_byzantine,
+                    ) or "refused by the capability matrix"
+                    continue
+                keys.append(key)
+                specs.append(
+                    build_run_spec(
+                        workload,
+                        sparsifier,
+                        density=density,
+                        n_workers=n_workers,
+                        scale=scale,
+                        epochs=epochs,
+                        seed=seed,
+                        max_iterations_per_epoch=max_iterations_per_epoch,
+                        aggregator=aggregator,
+                        attack=attack,
+                        n_byzantine=n_byzantine if attack != "none" else 0,
+                        execution=execution,
+                    )
                 )
-                cells[(sparsifier, aggregator, attack)] = {
-                    "metric": result.final_metrics.get(metric),
-                    "loss": result.final_metrics.get("loss"),
-                }
+
+    report = run_sweep(specs, jobs=jobs, cache=cache)
+
+    cells: Dict = {}
+    for key, outcome in zip(keys, report.outcomes):
+        if outcome.error is not None:
+            cells[key] = {"metric": None, "loss": None, "error": outcome.error}
+            continue
+        cells[key] = {
+            "metric": outcome.result.final_metrics.get(metric),
+            "loss": outcome.result.final_metrics.get("loss"),
+        }
+    for key, reason in skipped.items():
+        cells[key] = {"metric": None, "loss": None, "skipped": reason}
+    # Restore declaration order (skipped cells interleaved where they were).
+    ordered = {
+        (sparsifier, aggregator, attack): cells[(sparsifier, aggregator, attack)]
+        for sparsifier in sparsifiers
+        for aggregator in aggregators
+        for attack in attacks
+        if (sparsifier, aggregator, attack) in cells
+    }
+    cells = ordered
 
     # Degradation of each cell relative to its own benign run, and the
     # fraction of the mean's degradation each robust rule recovers.
@@ -103,6 +167,8 @@ def run(
         "density": density,
         "n_workers": n_workers,
         "n_byzantine": n_byzantine,
+        "execution": execution,
+        "jobs": report.jobs,
         "cells": {"|".join(key): cell for key, cell in cells.items()},
     }
 
@@ -117,6 +183,12 @@ def format_report(result: Dict) -> str:
     ]
     for key, cell in result["cells"].items():
         sparsifier, aggregator, attack = key.split("|")
+        if cell.get("skipped") or cell.get("error"):
+            reason = "skipped: capability matrix" if cell.get("skipped") else "error"
+            lines.append(
+                f"  {sparsifier:<10} {aggregator:<18} {attack:<14} ({reason})"
+            )
+            continue
         metric = cell["metric"]
         metric_str = "n/a" if metric is None else f"{metric:.4f}"
         degradation = cell.get("degradation")

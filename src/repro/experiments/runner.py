@@ -1,10 +1,13 @@
 """Shared run helpers for the experiment drivers.
 
-Both helpers are thin adapters from the historical flat keyword interface
-onto the :mod:`repro.api` facade: they assemble a layered
-:class:`~repro.api.RunSpec` and execute it through a
-:class:`~repro.api.Session`, so every experiment grid flows through the
-same entry point as the CLI and user code.  The returned
+These helpers are thin adapters from the historical flat keyword interface
+onto the :mod:`repro.api` facade: :func:`build_run_spec` assembles a layered
+:class:`~repro.api.RunSpec` from the flat keywords, :func:`run_training`
+executes one through a :class:`~repro.api.Session`, and
+:func:`run_sparsifier_comparison` sweeps several through the
+:mod:`repro.sweep` engine -- so every experiment grid flows through the same
+entry point (and the same sweep machinery: result cache, optional process
+pool) as the CLI and user code.  The returned
 :class:`~repro.api.RunResult` exposes the full ``TrainingResult`` surface
 (``series``, ``final_metrics``, ``timing``, ...), so existing drivers are
 unaffected by the richer return type.
@@ -26,10 +29,10 @@ from repro.api import (
 )
 from repro.training.tasks import Task
 
-__all__ = ["run_training", "run_sparsifier_comparison"]
+__all__ = ["build_run_spec", "run_training", "run_sparsifier_comparison"]
 
 
-def run_training(
+def build_run_spec(
     workload: str,
     sparsifier_name: str,
     density: Optional[float] = None,
@@ -42,7 +45,6 @@ def run_training(
     max_iterations_per_epoch: Optional[int] = None,
     evaluate_each_epoch: bool = True,
     sparsifier_kwargs: Optional[dict] = None,
-    task: Optional[Task] = None,
     aggregator: Optional[str] = None,
     aggregator_kwargs: Optional[dict] = None,
     attack: str = "none",
@@ -54,18 +56,16 @@ def run_training(
     max_staleness: int = 4,
     straggler_profile: str = "uniform",
     base_compute_seconds: float = 0.02,
-    session: Optional[Session] = None,
-) -> RunResult:
-    """Train one (workload, sparsifier) pair and return its result.
+) -> RunSpec:
+    """The layered :class:`RunSpec` of the historical flat keyword soup.
 
     All arguments default to the workload/scale presets of
-    :mod:`repro.experiments.config`; ``task`` can be passed to reuse an
-    already-built dataset across several runs of the same experiment.
-    ``aggregator=None`` resolves to the execution model's declared default
-    (``staleness_weighted_mean`` under ``async_bsp``); an explicit choice
-    -- even ``"mean"`` -- is always honoured.
+    :mod:`repro.experiments.config`; ``aggregator=None`` resolves to the
+    execution model's declared default (``staleness_weighted_mean`` under
+    ``async_bsp``); an explicit choice -- even ``"mean"`` -- is always
+    honoured.
     """
-    spec = RunSpec(
+    return RunSpec(
         workload=workload,
         scale=scale,
         seed=seed,
@@ -100,6 +100,23 @@ def run_training(
             kwargs=dict(execution_kwargs or {}),
         ),
     )
+
+
+def run_training(
+    workload: str,
+    sparsifier_name: str,
+    *,
+    task: Optional[Task] = None,
+    session: Optional[Session] = None,
+    **kwargs,
+) -> RunResult:
+    """Train one (workload, sparsifier) pair and return its result.
+
+    ``task`` can be passed to reuse an already-built dataset across several
+    runs of the same experiment; ``session`` to share the task cache.  The
+    remaining keywords are those of :func:`build_run_spec`.
+    """
+    spec = build_run_spec(workload, sparsifier_name, **kwargs)
     session = session if session is not None else Session()
     return session.run(spec, task=task)
 
@@ -111,22 +128,38 @@ def run_sparsifier_comparison(
     n_workers: int = 4,
     scale: str = "smoke",
     seed: int = 0,
+    jobs: int = 1,
     **kwargs,
 ) -> Dict[str, RunResult]:
-    """Train the same workload once per sparsifier (Figures 3-5 pattern)."""
-    session = Session()
-    task = session.task_for(workload, scale=scale, seed=seed)
-    results: Dict[str, RunResult] = {}
-    for name in sparsifier_names:
-        results[name] = run_training(
+    """Train the same workload once per sparsifier (Figures 3-5 pattern).
+
+    Routed through :func:`repro.sweep.run_sweep`: the serial path shares
+    one Session (the dataset is built once per (workload, scale, seed)),
+    and ``jobs > 1`` dispatches the sparsifiers to worker processes with
+    bit-identical results.
+    """
+    # Imported lazily: repro.sweep builds on repro.api, which the
+    # experiments package re-exports -- a module-level import would cycle.
+    from repro.sweep import run_sweep
+
+    specs = [
+        build_run_spec(
             workload,
             name,
             density=density,
             n_workers=n_workers,
             scale=scale,
             seed=seed,
-            task=task,
-            session=session,
             **kwargs,
         )
+        for name in sparsifier_names
+    ]
+    report = run_sweep(specs, jobs=jobs)
+    results: Dict[str, RunResult] = {}
+    for name, outcome in zip(sparsifier_names, report.outcomes):
+        if outcome.error is not None:
+            raise RuntimeError(
+                f"sparsifier comparison cell {name!r} failed: {outcome.error}"
+            )
+        results[name] = outcome.result
     return results

@@ -19,10 +19,11 @@ the speedup becomes the point of the experiment.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import config as expcfg
-from repro.experiments.runner import run_training
+from repro.experiments.runner import build_run_spec
+from repro.sweep import ResultCache, run_sweep, spec_refusal
 
 __all__ = [
     "run",
@@ -56,17 +57,25 @@ def run(
     max_iterations_per_epoch: Optional[int] = None,
     local_steps: int = 4,
     max_staleness: int = 4,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict:
-    """Sweep the grid on one workload and return per-cell measurements."""
+    """Sweep the grid on one workload and return per-cell measurements.
+
+    The grid runs through :mod:`repro.sweep`: cells the capability matrix
+    refuses are pruned up front (reported with a ``skipped`` reason), and
+    ``jobs``/``cache`` forward to the sweep engine.
+    """
     density = expcfg.default_density(workload) if density is None else float(density)
     limits = _SCALE_LIMITS.get(scale, _SCALE_LIMITS["smoke"])
     epochs = limits["epochs"] if epochs is None else int(epochs)
     if max_iterations_per_epoch is None:
         max_iterations_per_epoch = limits["max_iterations_per_epoch"]
     metric = _METRIC[workload]
-    task = expcfg.make_task(workload, scale=scale, seed=seed)
 
-    cells: Dict = {}
+    keys: List[Tuple[str, str, str]] = []
+    specs = []
+    skipped: Dict[Tuple[str, str, str], str] = {}
     for profile in profiles:
         for sparsifier in sparsifiers:
             for execution in executions:
@@ -74,7 +83,8 @@ def run(
                     # Elastic averaging exchanges dense parameters and never
                     # touches the sparsifier: one run per profile suffices.
                     continue
-                result = run_training(
+                label = "-" if execution == "elastic" else sparsifier
+                spec = build_run_spec(
                     workload,
                     sparsifier,
                     density=density,
@@ -83,20 +93,59 @@ def run(
                     epochs=epochs,
                     seed=seed,
                     max_iterations_per_epoch=max_iterations_per_epoch,
-                    task=task,
                     execution=execution,
                     straggler_profile=profile,
                     local_steps=local_steps,
                     max_staleness=max_staleness,
                 )
+                reason = spec_refusal(spec)
+                if reason is not None:
+                    skipped[(execution, label, profile)] = reason
+                    continue
+                keys.append((execution, label, profile))
+                specs.append(spec)
+
+    report = run_sweep(specs, jobs=jobs, cache=cache)
+
+    cells: Dict = {}
+    for key, outcome in zip(keys, report.outcomes):
+        if outcome.error is not None:
+            cells[key] = {
+                "loss": None,
+                "metric": None,
+                "mean_density": 0.0,
+                "wallclock": None,
+                "iterations": 0,
+                "error": outcome.error,
+            }
+            continue
+        result = outcome.result
+        cells[key] = {
+            "loss": result.final_metrics.get("loss"),
+            "metric": result.final_metrics.get(metric),
+            "mean_density": result.mean_density(),
+            "wallclock": result.estimated_wallclock,
+            "iterations": result.iterations_run,
+        }
+    for key, reason in skipped.items():
+        cells[key] = {
+            "loss": None,
+            "metric": None,
+            "mean_density": 0.0,
+            "wallclock": None,
+            "iterations": 0,
+            "skipped": reason,
+        }
+    # Restore declaration order (skipped cells interleaved where they were).
+    ordered: Dict = {}
+    for profile in profiles:
+        for sparsifier in sparsifiers:
+            for execution in executions:
                 label = "-" if execution == "elastic" else sparsifier
-                cells[(execution, label, profile)] = {
-                    "loss": result.final_metrics.get("loss"),
-                    "metric": result.final_metrics.get(metric),
-                    "mean_density": result.mean_density(),
-                    "wallclock": result.estimated_wallclock,
-                    "iterations": result.iterations_run,
-                }
+                key = (execution, label, profile)
+                if key in cells and key not in ordered:
+                    ordered[key] = cells[key]
+    cells = ordered
 
     for (execution, sparsifier, profile), cell in cells.items():
         # The sparsifier-independent elastic rows compare against the BSP
@@ -131,6 +180,10 @@ def format_report(result: Dict) -> str:
     ]
     for key, cell in result["cells"].items():
         execution, sparsifier, profile = key.split("|")
+        if cell.get("skipped") or cell.get("error"):
+            reason = "skipped: capability matrix" if cell.get("skipped") else "error"
+            lines.append(f"  {execution:<12} {sparsifier:<10} {profile:<10} ({reason})")
+            continue
         loss = cell["loss"]
         metric = cell["metric"]
         speedup = cell.get("speedup_vs_sync")

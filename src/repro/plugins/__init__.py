@@ -31,7 +31,9 @@ from repro.plugins.capabilities import (
     check_byzantine_count,
     check_execution_supports_attack,
     check_execution_supports_optimizer,
+    combination_refusal,
     default_aggregator_for,
+    valid_grid_cells,
     validate_run_combination,
 )
 from repro.plugins.registry import (
@@ -64,4 +66,6 @@ __all__ = [
     "check_execution_supports_attack",
     "check_execution_supports_optimizer",
     "validate_run_combination",
+    "combination_refusal",
+    "valid_grid_cells",
 ]

@@ -14,7 +14,7 @@ entry point -- CLI, Python API, direct trainer construction -- agrees.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+from typing import Any, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.plugins.registry import get_component
 
@@ -24,6 +24,8 @@ __all__ = [
     "check_execution_supports_optimizer",
     "check_byzantine_count",
     "validate_run_combination",
+    "combination_refusal",
+    "valid_grid_cells",
 ]
 
 
@@ -39,14 +41,44 @@ def default_aggregator_for(execution: str) -> str:
     return spec.capability("default_aggregator") or "mean"
 
 
+def _byzantine_count_refusal(n_workers: int, n_byzantine: int) -> Optional[str]:
+    if n_byzantine < 0:
+        return f"n_byzantine must be non-negative, got {n_byzantine}"
+    if n_byzantine >= n_workers and n_byzantine > 0:
+        return f"n_byzantine={n_byzantine} leaves no benign worker out of {n_workers}"
+    return None
+
+
 def check_byzantine_count(n_workers: int, n_byzantine: int) -> None:
     """The group-size arithmetic previously in ``TrainingConfig``."""
-    if n_byzantine < 0:
-        raise ValueError(f"n_byzantine must be non-negative, got {n_byzantine}")
-    if n_byzantine >= n_workers and n_byzantine > 0:
-        raise ValueError(
-            f"n_byzantine={n_byzantine} leaves no benign worker out of {n_workers}"
+    reason = _byzantine_count_refusal(n_workers, n_byzantine)
+    if reason:
+        raise ValueError(reason)
+
+
+def _attack_refusal(
+    execution: str,
+    *,
+    attack_name: str,
+    colluding: bool,
+    corrupts_data: bool,
+    n_byzantine: int,
+) -> Optional[str]:
+    if not n_byzantine:
+        return None
+    caps = get_component("execution", execution).capabilities
+    if colluding and not caps.get("synchronized_view", True):
+        return (
+            f"the {attack_name!r} attack needs a synchronized group view; "
+            f"it is not supported under {execution}"
         )
+    if not corrupts_data and not caps.get("exchanges_gradients", True):
+        return (
+            f"the {attack_name!r} attack corrupts gradient accumulators, "
+            f"which the {execution} schedule never exchanges; use a "
+            "data-poisoning attack or another execution model"
+        )
+    return None
 
 
 def check_execution_supports_attack(
@@ -65,20 +97,29 @@ def check_execution_supports_attack(
     wire; a parameter-exchanging schedule would silently neutralise them)
     capabilities.
     """
-    if not n_byzantine:
-        return
+    reason = _attack_refusal(
+        execution,
+        attack_name=attack_name,
+        colluding=colluding,
+        corrupts_data=corrupts_data,
+        n_byzantine=n_byzantine,
+    )
+    if reason:
+        raise ValueError(reason)
+
+
+def _optimizer_refusal(
+    execution: str, *, momentum: float, weight_decay: float
+) -> Optional[str]:
     caps = get_component("execution", execution).capabilities
-    if colluding and not caps.get("synchronized_view", True):
-        raise ValueError(
-            f"the {attack_name!r} attack needs a synchronized group view; "
-            f"it is not supported under {execution}"
+    if caps.get("supports_momentum", True):
+        return None
+    if momentum or weight_decay:
+        return (
+            f"the {execution} schedule ignores momentum/weight_decay; "
+            "configure them to 0 or pick another execution model"
         )
-    if not corrupts_data and not caps.get("exchanges_gradients", True):
-        raise ValueError(
-            f"the {attack_name!r} attack corrupts gradient accumulators, "
-            f"which the {execution} schedule never exchanges; use a "
-            "data-poisoning attack or another execution model"
-        )
+    return None
 
 
 def check_execution_supports_optimizer(
@@ -89,14 +130,24 @@ def check_execution_supports_optimizer(
     Driven by the ``supports_momentum`` capability (the elastic exchange
     updates the center directly and never goes through the optimizer).
     """
-    caps = get_component("execution", execution).capabilities
-    if caps.get("supports_momentum", True):
-        return
-    if momentum or weight_decay:
-        raise ValueError(
-            f"the {execution} schedule ignores momentum/weight_decay; "
-            "configure them to 0 or pick another execution model"
-        )
+    reason = _optimizer_refusal(execution, momentum=momentum, weight_decay=weight_decay)
+    if reason:
+        raise ValueError(reason)
+
+
+def _robust_norms_refusal(
+    sparsifier: str, sparsifier_kwargs: Optional[Mapping[str, Any]]
+) -> Optional[str]:
+    if not (sparsifier_kwargs or {}).get("robust_norms"):
+        return None
+    spec = get_component("sparsifier", sparsifier)
+    if spec.capability("supports_robust_norms", False):
+        return None
+    return (
+        f"robust-norms is not supported by the {spec.name!r} sparsifier; "
+        "only sparsifiers with the supports_robust_norms capability "
+        "(deft) coordinate shared layer norms"
+    )
 
 
 def _check_component_kwargs(kind: str, name: str, kwargs: Optional[Mapping[str, Any]]) -> None:
@@ -146,15 +197,95 @@ def validate_run_combination(
     _check_component_kwargs("execution", execution, execution_kwargs)
 
     if sparsifier is not None:
-        spec = get_component("sparsifier", sparsifier)
+        get_component("sparsifier", sparsifier)
         # The capability refusal goes first: "topk cannot do robust-norms"
         # is more actionable than "topk has no robust_norms kwarg".
-        if (sparsifier_kwargs or {}).get("robust_norms") and not spec.capability(
-            "supports_robust_norms", False
-        ):
-            raise ValueError(
-                f"robust-norms is not supported by the {spec.name!r} sparsifier; "
-                "only sparsifiers with the supports_robust_norms capability "
-                "(deft) coordinate shared layer norms"
-            )
+        reason = _robust_norms_refusal(sparsifier, sparsifier_kwargs)
+        if reason:
+            raise ValueError(reason)
         _check_component_kwargs("sparsifier", sparsifier, sparsifier_kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Exception-free pruning surface (the sweep engine and the experiment
+# grids ask the matrix *which* cells are valid instead of try/except-ing
+# refusals cell by cell at run time).
+# ---------------------------------------------------------------------- #
+def combination_refusal(
+    *,
+    execution: str,
+    attack: str,
+    aggregator: Optional[str] = None,
+    sparsifier: Optional[str] = None,
+    n_workers: int = 1,
+    n_byzantine: int = 0,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+    sparsifier_kwargs: Optional[Mapping[str, Any]] = None,
+) -> Optional[str]:
+    """Why the capability matrix refuses a combination, or ``None`` if valid.
+
+    This is the predicate form of :func:`validate_run_combination` for the
+    capability-driven rules (group arithmetic, attack/schedule
+    compatibility, optimizer-knob support, robust-norms support).  Unknown
+    component names still raise ``KeyError`` -- a typo is a bug, not a
+    prunable cell.
+    """
+    reason = _byzantine_count_refusal(n_workers, n_byzantine)
+    if reason:
+        return reason
+    attack_spec = get_component("attack", attack)
+    reason = _attack_refusal(
+        execution,
+        attack_name=attack_spec.name,
+        colluding=bool(attack_spec.capability("colluding", False)),
+        corrupts_data=bool(attack_spec.capability("corrupts_data", False)),
+        n_byzantine=n_byzantine,
+    )
+    if reason:
+        return reason
+    reason = _optimizer_refusal(execution, momentum=momentum, weight_decay=weight_decay)
+    if reason:
+        return reason
+    if sparsifier is not None:
+        get_component("sparsifier", sparsifier)
+        reason = _robust_norms_refusal(sparsifier, sparsifier_kwargs)
+        if reason:
+            return reason
+    if aggregator is not None:
+        get_component("aggregator", aggregator)
+    return None
+
+
+def valid_grid_cells(
+    executions: Iterable[str],
+    attacks: Iterable[str],
+    aggregators: Iterable[str],
+    *,
+    n_workers: int,
+    n_byzantine: int,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+) -> Iterator[Tuple[str, str, str]]:
+    """Yield the (execution, attack, aggregator) cells the matrix accepts.
+
+    The declared capabilities decide validity up front, so grid drivers
+    enumerate only runnable cells; the refusal reasons for the dropped ones
+    are available via :func:`combination_refusal`.
+    """
+    for execution in executions:
+        for attack in attacks:
+            for aggregator in aggregators:
+                if (
+                    combination_refusal(
+                        execution=execution,
+                        attack=attack,
+                        aggregator=aggregator,
+                        n_workers=n_workers,
+                        n_byzantine=n_byzantine,
+                        momentum=momentum,
+                        weight_decay=weight_decay,
+                    )
+                    is None
+                ):
+                    yield execution, attack, aggregator

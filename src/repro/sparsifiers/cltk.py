@@ -53,7 +53,11 @@ class CLTKSparsifier(Sparsifier):
         leader = self.leader_of(iteration)
         k = self.global_k
         start = time.perf_counter()
-        indices = topk_indices(np.asarray(acc_per_worker[leader]).reshape(-1), k)
+        # Every worker contributes at the broadcast index *set*; ordering is
+        # irrelevant (the trainer np.unique-sorts the union), so skip the sort.
+        indices = topk_indices(
+            np.asarray(acc_per_worker[leader]).reshape(-1), k, sort=False
+        )
         self._leader_seconds = time.perf_counter() - start
         if backend is not None:
             received = backend.broadcast(indices, root=leader, tag="cltk-indices")

@@ -58,7 +58,9 @@ def layerwise_select(
         if k <= 0:
             continue
         segment = flat[partition.start : partition.end]
-        local_idx = topk_indices(segment, k)
+        # Only the selected *set* matters (the union is disjoint by
+        # construction and np.unique-sorted downstream): skip the sort.
+        local_idx = topk_indices(segment, k, sort=False)
         pieces.append(local_idx + partition.start)
         k_target += min(k, partition.size)
         analytic_cost += partition.size * max(math.log2(max(k, 2)), 1.0)

@@ -90,7 +90,8 @@ class DGCSparsifier(Sparsifier):
         refined = False
         if self.refine and candidates.shape[0] > self.overshoot_tolerance * k:
             refined = True
-            local = topk_indices(flat[candidates], k)
+            # The trimmed selection is used as an index set only: skip the sort.
+            local = topk_indices(flat[candidates], k, sort=False)
             candidates = candidates[local]
         elapsed = time.perf_counter() - start
 

@@ -53,8 +53,10 @@ class GlobalTopKSparsifier(Sparsifier):
         self._require_setup()
         k = self.global_k
         start = time.perf_counter()
+        # Candidates feed an unordered union (np.unique below): skip the sort.
         local_indices = [
-            topk_indices(np.asarray(acc).reshape(-1), k) for acc in acc_per_worker
+            topk_indices(np.asarray(acc).reshape(-1), k, sort=False)
+            for acc in acc_per_worker
         ]
         self._local_seconds = (time.perf_counter() - start) / max(len(acc_per_worker), 1)
 
@@ -69,7 +71,7 @@ class GlobalTopKSparsifier(Sparsifier):
         summed = np.zeros(candidate_pool.shape[0], dtype=np.float64)
         for acc in acc_per_worker:
             summed += np.asarray(acc).reshape(-1)[candidate_pool]
-        keep = topk_indices(summed, k)
+        keep = topk_indices(summed, k, sort=False)
         self._global_indices = np.sort(candidate_pool[keep])
         self._iteration_cache = int(iteration)
 

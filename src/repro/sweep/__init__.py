@@ -1,0 +1,55 @@
+"""Parallel sweep engine with a spec-addressed result cache.
+
+Every experiment grid in this reproduction is a set of independent,
+fully-seeded :class:`~repro.api.RunSpec` cells -- exactly the
+embarrassingly-parallel, repeat-heavy workload parameter-server systems
+dispatch as independent work units.  This package is the one place that
+pattern lives:
+
+- :func:`expand_grid` turns a grid declaration (explicit spec list,
+  cartesian product over spec fields, or inventory-derived axes) into
+  resolved specs, pruning cells the capability matrix refuses up front,
+- :class:`ResultCache` memoizes results on disk by a stable hash of the
+  resolved spec (+ cache version), so repeated cells are free,
+- :func:`run_sweep` serves cache hits and dispatches the misses either
+  serially or to a process pool of worker Sessions, with per-cell failure
+  isolation and bit-identical-to-serial results.
+
+Quickstart::
+
+    from repro.sweep import ResultCache, expand_grid, run_sweep
+
+    grid = {
+        "base": {"workload": "lm", "optimizer": {"epochs": 1}},
+        "axes": {
+            "robustness.aggregator": ["mean", "krum"],
+            "robustness.attack": {"components": "attack"},
+        },
+    }
+    expansion = expand_grid(grid)
+    report = run_sweep(expansion.specs, jobs=4, cache=ResultCache())
+    for outcome in report.outcomes:
+        print(outcome.spec.robustness.aggregator, outcome.result.final_metrics)
+
+The CLI verb ``repro sweep --spec grid.json [--jobs N] [--no-cache]`` is a
+veneer over exactly these calls.
+"""
+
+from repro.sweep.cache import CACHE_VERSION, ResultCache, default_cache_dir, spec_key
+from repro.sweep.engine import CellOutcome, SweepReport, run_sweep
+from repro.sweep.grid import GridExpansion, PrunedCell, expand_grid, load_grid, spec_refusal
+
+__all__ = [
+    "CACHE_VERSION",
+    "ResultCache",
+    "default_cache_dir",
+    "spec_key",
+    "CellOutcome",
+    "SweepReport",
+    "run_sweep",
+    "GridExpansion",
+    "PrunedCell",
+    "expand_grid",
+    "load_grid",
+    "spec_refusal",
+]

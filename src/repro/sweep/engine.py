@@ -1,0 +1,263 @@
+"""The sweep engine: cache-checked, process-pool :class:`Session` dispatch.
+
+``run_sweep`` takes a list of :class:`~repro.api.RunSpec` cells and executes
+them through the same ``Session.run`` choke point as every other entry
+point, adding three things no driver has to re-implement:
+
+- **memoization** -- an optional :class:`~repro.sweep.cache.ResultCache` is
+  consulted per cell before anything is built; hits return rehydrated
+  results and execute zero training steps,
+- **parallel dispatch** -- misses are fanned out to a
+  ``concurrent.futures.ProcessPoolExecutor`` of worker Sessions
+  (``jobs > 1``).  Every cell is fully seeded by its spec and workers share
+  nothing, so parallel results are bit-identical to a serial run of the
+  same specs, regardless of scheduling order,
+- **failure isolation** -- one refused or crashing cell becomes an error
+  outcome; the rest of the grid still runs.
+
+Workers rebuild their datasets from each spec's ``(workload, scale, seed)``
+triple inside the worker process (tasks are derived, never pickled), and
+each worker Session's task cache is LRU-bounded, so long sweeps do not grow
+worker memory without limit.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.result import RunResult
+from repro.api.session import Session
+from repro.api.spec import RunSpec
+from repro.sweep.cache import ResultCache
+
+__all__ = ["CellOutcome", "SweepReport", "run_sweep"]
+
+#: Task-cache bound of the per-process worker Sessions.
+_WORKER_MAX_CACHED_TASKS = 4
+
+#: One Session per worker process, created lazily on the first cell and
+#: reused for every cell the process executes, so a worker sweeping many
+#: cells of one workload builds the dataset once.
+_WORKER_SESSION: Optional[Session] = None
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one sweep cell."""
+
+    #: Position of the cell in the input spec list.
+    index: int
+    #: The resolved spec the cell describes.
+    spec: RunSpec
+    #: The cell's result (``None`` when the cell errored).
+    result: Optional[RunResult] = None
+    #: ``"run"`` (freshly executed), ``"cache"`` (served from the result
+    #: cache) or ``"error"`` (the cell raised; see ``error``).
+    source: str = "run"
+    #: Error message of a failed cell.
+    error: Optional[str] = None
+    #: Wall-clock seconds spent executing the cell (0 for cache hits).
+    seconds: float = 0.0
+    #: The cell's result-cache key (set only when a cache is in use).
+    cache_key: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep produced, in input-cell order."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    jobs: int = 1
+    #: Total wall-clock seconds of the sweep (cache lookups included).
+    seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def results(self) -> List[Optional[RunResult]]:
+        """Per-cell results in input order (``None`` for failed cells)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def failures(self) -> List[CellOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def counts(self) -> Dict[str, int]:
+        out = {"run": 0, "cache": 0, "error": 0}
+        for outcome in self.outcomes:
+            out[outcome.source] = out.get(outcome.source, 0) + 1
+        return out
+
+    def cells_per_second(self) -> float:
+        return len(self.outcomes) / self.seconds if self.seconds > 0 else 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Worker-process side.
+# ---------------------------------------------------------------------- #
+def _worker_session() -> Session:
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        _WORKER_SESSION = Session(max_cached_tasks=_WORKER_MAX_CACHED_TASKS)
+    return _WORKER_SESSION
+
+
+def _run_cell(spec_dict: dict) -> Tuple[str, object, float]:
+    """Execute one cell in a worker process.
+
+    Takes and returns only JSON-able payloads: the spec travels as its
+    dict, the result comes back as its ``to_dict`` summary -- the worker
+    derives its dataset from (workload, scale, seed) locally instead of
+    shipping task objects across the pipe.  Returns
+    ``("ok", result_dict, seconds)`` or ``("error", message, seconds)``.
+    """
+    start = time.perf_counter()
+    try:
+        spec = RunSpec.from_dict(spec_dict)
+        result = _worker_session().run(spec)
+        return "ok", result.to_dict(), time.perf_counter() - start
+    except Exception as exc:  # per-cell failure isolation
+        message = f"{type(exc).__name__}: {exc}"
+        return "error", message, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------- #
+def run_sweep(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    session: Optional[Session] = None,
+    progress: Optional[Callable[[CellOutcome], None]] = None,
+) -> SweepReport:
+    """Execute every spec, serving cache hits and dispatching the misses.
+
+    Parameters
+    ----------
+    specs:
+        The grid cells.  Each is resolved up front, so invalid cells fail
+        here -- before any worker is spawned -- unless the grid was already
+        pruned (:func:`repro.sweep.expand_grid`).
+    jobs:
+        Worker-process count.  ``1`` (default) runs serially in-process on
+        ``session``; ``> 1`` dispatches misses to a process pool.  Results
+        are bit-identical either way: every cell is fully seeded by its
+        spec.
+    cache:
+        Optional result cache consulted (and filled) per cell.
+    session:
+        The Session used for serial execution (one is created if omitted).
+        Ignored when ``jobs > 1``; worker processes build their own.
+    progress:
+        Callback invoked with each :class:`CellOutcome` as it settles
+        (cache hits first, then runs in completion order).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    resolved = [spec.resolve() for spec in specs]
+    report = SweepReport(jobs=int(jobs))
+    report.outcomes = [CellOutcome(index=i, spec=spec) for i, spec in enumerate(resolved)]
+
+    # Cache pass: hits settle immediately, misses go to the dispatch list.
+    # The spec hash is derived once per cell -- from the already-resolved
+    # spec -- and reused for the put after a miss runs, so a fully cached
+    # sweep pays exactly one resolve and one hash per cell.
+    misses: List[int] = []
+    for outcome in report.outcomes:
+        hit = None
+        if cache is not None:
+            outcome.cache_key = cache.key_for(outcome.spec, assume_resolved=True)
+            hit = cache.get(outcome.spec, key=outcome.cache_key)
+        if hit is not None:
+            outcome.result = hit
+            outcome.source = "cache"
+            if progress:
+                progress(outcome)
+        else:
+            misses.append(outcome.index)
+
+    if misses:
+        if jobs == 1:
+            _run_serial(report, misses, session=session, cache=cache, progress=progress)
+        else:
+            _run_parallel(report, misses, jobs=jobs, cache=cache, progress=progress)
+
+    report.seconds = time.perf_counter() - start
+    return report
+
+
+def _settle(
+    report: SweepReport,
+    index: int,
+    status: str,
+    payload: object,
+    seconds: float,
+    cache: Optional[ResultCache],
+    progress: Optional[Callable[[CellOutcome], None]],
+) -> None:
+    """Record one executed cell's outcome (shared by both dispatch paths)."""
+    outcome = report.outcomes[index]
+    outcome.seconds = float(seconds)
+    if status == "ok":
+        result = payload if isinstance(payload, RunResult) else RunResult.from_dict(payload)
+        outcome.result = result
+        outcome.source = "run"
+        if cache is not None:
+            cache.put(outcome.spec, result, key=outcome.cache_key)
+    else:
+        outcome.error = str(payload)
+        outcome.source = "error"
+    if progress:
+        progress(outcome)
+
+
+def _run_serial(
+    report: SweepReport,
+    misses: List[int],
+    *,
+    session: Optional[Session],
+    cache: Optional[ResultCache],
+    progress: Optional[Callable[[CellOutcome], None]],
+) -> None:
+    session = session if session is not None else Session()
+    for index in misses:
+        spec = report.outcomes[index].spec
+        cell_start = time.perf_counter()
+        try:
+            result = session.run(spec)
+            _settle(report, index, "ok", result, time.perf_counter() - cell_start, cache, progress)
+        except Exception as exc:  # per-cell failure isolation
+            message = f"{type(exc).__name__}: {exc}"
+            _settle(report, index, "error", message, time.perf_counter() - cell_start, cache, progress)
+
+
+def _run_parallel(
+    report: SweepReport,
+    misses: List[int],
+    *,
+    jobs: int,
+    cache: Optional[ResultCache],
+    progress: Optional[Callable[[CellOutcome], None]],
+) -> None:
+    max_workers = min(int(jobs), len(misses))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pending = {
+            pool.submit(_run_cell, report.outcomes[index].spec.to_dict()): index
+            for index in misses
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    status, payload, seconds = future.result()
+                except Exception as exc:  # worker died (OOM, signal, ...)
+                    status, payload, seconds = "error", f"{type(exc).__name__}: {exc}", 0.0
+                _settle(report, index, status, payload, seconds, cache, progress)

@@ -267,6 +267,12 @@ class DistributedTrainer:
         )
         self.timing = TimingAccumulator()
         self.iteration = 0
+        # Reusable hot-path buffers for sparse_exchange: the flattened
+        # per-worker contribution matrix (grown geometrically as the index
+        # union widens) and the dense update vector (zero except at the
+        # union, which is re-zeroed after each apply).
+        self._contrib_buffer = np.empty((config.n_workers, 0), dtype=np.float64)
+        self._update_buffer = np.zeros(self.n_gradients, dtype=np.float64)
         self.execution.bind(self)
 
     # ------------------------------------------------------------------ #
@@ -338,18 +344,21 @@ class DistributedTrainer:
 
         # 6. Aggregation of the selected values, then the model update.  The
         # mean keeps the paper's sum all-reduce; robust rules need each
-        # worker's vector and use the gather-based path.
-        contributions = [acc[global_indices] for acc in accumulators]
+        # worker's vector and use the gather-based path.  The flattened
+        # contribution matrix lives in a buffer reused across iterations
+        # (gathering into it instead of re-copying per step), and the
+        # metered row collectives skip the simulation's per-rank copies.
+        matrix = self._contributions(accumulators, global_indices)
         if self.aggregator.requires_individual_contributions:
-            gathered = self.backend.allgather(contributions, tag="values")
-            matrix = gathered[0].reshape(n_workers, global_indices.shape[0])
+            matrix = self.backend.allgather_rows(matrix, tag="values")
             aggregated = self.aggregator.aggregate(matrix, indices=global_indices)
         else:
-            reduced = self.backend.allreduce(contributions, tag="values")
-            aggregated = self.aggregator.aggregate_reduced(reduced[0])
-        update = np.zeros(self.n_gradients, dtype=np.float64)
+            reduced = self.backend.allreduce_rows(matrix, tag="values")
+            aggregated = self.aggregator.aggregate_reduced(reduced)
+        update = self._update_buffer
         update[global_indices] = aggregated
         self.optimizer.apply_update(update)
+        update[global_indices] = 0.0
 
         # 7. Error-feedback update.
         for rank in range(n_workers):
@@ -369,6 +378,25 @@ class DistributedTrainer:
             "communication_seconds": communication_seconds,
             "comm_elements": comm_elements,
         }
+
+    def _contributions(
+        self, accumulators: Sequence[np.ndarray], global_indices: np.ndarray
+    ) -> np.ndarray:
+        """The ``(n_workers, union)`` contribution matrix, in a reused buffer.
+
+        The buffer grows geometrically to the widest union seen and is
+        overwritten every iteration; callers must not hold views across
+        iterations (the aggregators consume the matrix within the call).
+        """
+        n_workers = self.config.n_workers
+        m = int(global_indices.shape[0])
+        if self._contrib_buffer.shape[1] < m:
+            capacity = max(m, 2 * self._contrib_buffer.shape[1])
+            self._contrib_buffer = np.empty((n_workers, capacity), dtype=np.float64)
+        matrix = self._contrib_buffer[:, :m]
+        for rank in range(n_workers):
+            np.take(accumulators[rank], global_indices, out=matrix[rank])
+        return matrix
 
     # ------------------------------------------------------------------ #
     def train_iteration(self, batches: Sequence, lr: float) -> Dict[str, float]:
