@@ -32,7 +32,7 @@ from repro.api import (
 from repro.experiments import config as expcfg
 from repro.sweep import run_sweep
 
-EXECUTIONS = ("synchronous", "local_sgd", "async_bsp", "elastic")
+EXECUTIONS = ("synchronous", "local_sgd", "async_bsp", "elastic", "gossip")
 
 N_WORKERS = 4
 ITERATIONS = 6
@@ -41,11 +41,21 @@ ITERATIONS = 6
 SESSION = Session()
 
 
-def make_spec(execution: str) -> RunSpec:
+def make_spec(
+    execution: str,
+    topology: str = None,
+    server_rank: int = None,
+    profile: str = "lognormal",
+) -> RunSpec:
     return RunSpec(
         workload=expcfg.LM,
         seed=0,
-        cluster=ClusterSpec(n_workers=N_WORKERS, straggler_profile="lognormal"),
+        cluster=ClusterSpec(
+            n_workers=N_WORKERS,
+            straggler_profile=profile,
+            topology=topology,
+            server_rank=server_rank,
+        ),
         optimizer=OptimizerSpec(
             lr=0.2,
             batch_size=8,
@@ -58,8 +68,11 @@ def make_spec(execution: str) -> RunSpec:
     )
 
 
-def run_once(execution: str) -> float:
-    report = run_sweep([make_spec(execution)], jobs=1, session=SESSION)
+def run_once(execution: str, topology: str = None, server_rank: int = None,
+             profile: str = "lognormal") -> float:
+    report = run_sweep(
+        [make_spec(execution, topology, server_rank, profile)], jobs=1, session=SESSION
+    )
     (outcome,) = report.outcomes
     assert outcome.error is None, outcome.error
     return outcome.result.estimated_wallclock
@@ -78,3 +91,32 @@ def test_async_models_lower_wallclock_than_sync():
     sync = run_once("synchronous")
     async_ = run_once("async_bsp")
     assert async_ < sync
+
+
+def test_placement_changes_modelled_wallclock():
+    """Placement smoke cell: routing the server traffic over real topology
+    paths must make the star hub strictly cheaper than a star leaf.  The
+    uniform profile keeps the async schedule lock-step, so every round
+    pays the full placement's hop bill and the ordering is exact."""
+    hub = run_once("async_bsp", topology="star", server_rank=0, profile="uniform")
+    leaf = run_once(
+        "async_bsp", topology="star", server_rank=N_WORKERS - 1, profile="uniform"
+    )
+    assert hub < leaf
+
+
+def test_placement_grid_smoke():
+    """The placement experiment's smallest grid runs end to end through
+    the sweep engine (same dispatch path as the CLI experiment)."""
+    from repro.experiments import placement_grid
+
+    result = placement_grid.run(
+        scale="smoke",
+        executions=("async_bsp", "gossip"),
+        topologies=("star",),
+        n_workers=N_WORKERS,
+        max_iterations_per_epoch=2,
+    )
+    cells = result["cells"]
+    assert any(key.endswith("|gossip|-") for key in cells)
+    assert all("error" not in cell for cell in cells.values())

@@ -26,7 +26,9 @@ from repro.experiments import (
     fig08_density_sweep,
     fig09_speedup,
     fig10_scaleout,
+    placement_grid,
     robustness_grid,
+    staleness_grid,
     table1_properties,
     table2_workloads,
 )
@@ -74,6 +76,10 @@ def main() -> None:
             fig10_scaleout.run(scale=args.scale, density=0.01, worker_counts=(2, 4, 8, 16), epochs=epochs))),
         ("Robustness grid", lambda: robustness_grid.format_report(
             robustness_grid.run(scale=args.scale, n_workers=8, n_byzantine=2, epochs=epochs))),
+        ("Staleness grid", lambda: staleness_grid.format_report(
+            staleness_grid.run(scale=args.scale, n_workers=8, epochs=epochs))),
+        ("Placement grid", lambda: placement_grid.format_report(
+            placement_grid.run(scale=args.scale, n_workers=8, epochs=epochs))),
     ]
 
     emit(f"# DEFT reproduction -- experiment sweep (scale={args.scale}, workers={workers})")

@@ -52,11 +52,23 @@ class StalenessWeightedMeanAggregator(Aggregator):
             raise ValueError("staleness ages must be non-negative")
 
     def weights_for(self, n_rows: int) -> np.ndarray:
-        """Normalised decay weights for ``n_rows`` contributions."""
-        if self._ages is not None and self._ages.shape[0] == n_rows:
-            raw = np.power(1.0 + self._ages, -self.gamma)
-        else:
+        """Normalised decay weights for ``n_rows`` contributions.
+
+        No announced ages means the documented synchronous fallback: every
+        contribution counts equally.  An announced vector of the *wrong
+        length* is a schedule bug -- silently degrading to the plain mean
+        would drop the staleness protection with no signal -- so it raises.
+        """
+        if self._ages is None:
             raw = np.ones(n_rows, dtype=np.float64)
+        else:
+            if self._ages.shape[0] != n_rows:
+                raise ValueError(
+                    f"announced {self._ages.shape[0]} staleness ages for "
+                    f"{n_rows} contributions; the schedule must announce "
+                    "exactly one age per aggregated row"
+                )
+            raw = np.power(1.0 + self._ages, -self.gamma)
         return raw / raw.sum()
 
     def aggregate(self, contributions: np.ndarray, indices: Optional[np.ndarray] = None) -> np.ndarray:

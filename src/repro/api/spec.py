@@ -25,7 +25,11 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.execution.straggler import STRAGGLER_PROFILES
-from repro.plugins import default_aggregator_for, validate_run_combination
+from repro.plugins import (
+    default_aggregator_for,
+    default_topology_for,
+    validate_run_combination,
+)
 from repro.training.trainer import TrainingConfig
 
 
@@ -48,13 +52,21 @@ __all__ = [
 
 @dataclass
 class ClusterSpec:
-    """Simulated cluster: size and worker heterogeneity."""
+    """Simulated cluster: size, worker heterogeneity, interconnect."""
 
     n_workers: int = 4
     #: Worker compute-speed profile: "uniform", "lognormal" or "straggler".
     straggler_profile: str = "uniform"
     #: Modelled compute seconds of one mini-batch on a nominal worker.
     base_compute_seconds: float = 0.02
+    #: Interconnect topology spec ("ring", "star", "tree:4",
+    #: "fat_node:8x4").  None resolves to the execution model's declared
+    #: default ("ring" under gossip, else the flat one-hop pricing).
+    topology: Optional[str] = None
+    #: Worker rank hosting the parameter server; required by
+    #: parameter-server schedules on graph topologies (push/pull is priced
+    #: over ``path_hops(rank, server_rank)``), refused by server-less ones.
+    server_rank: Optional[int] = None
 
 
 @dataclass
@@ -177,9 +189,17 @@ class RunSpec:
             aggregator_kwargs=dict(self.robustness.aggregator_kwargs),
             attack_kwargs=dict(self.robustness.attack_kwargs),
         )
+        cluster = replace(
+            self.cluster,
+            topology=(
+                default_topology_for(self.execution.model)
+                if self.cluster.topology is None
+                else self.cluster.topology
+            ),
+        )
         resolved = replace(
             self,
-            cluster=replace(self.cluster),
+            cluster=cluster,
             optimizer=optimizer,
             compression=compression,
             robustness=robustness,
@@ -213,6 +233,10 @@ class RunSpec:
             n_byzantine=self.robustness.n_byzantine,
             momentum=self.optimizer.momentum,
             weight_decay=self.optimizer.weight_decay,
+            # None resolves to the schedule's declared default inside the
+            # capability matrix, exactly as resolve() fills it.
+            topology=self.cluster.topology,
+            server_rank=self.cluster.server_rank,
             sparsifier_kwargs=self.compression.kwargs,
             aggregator_kwargs=self.robustness.aggregator_kwargs,
             attack_kwargs=self.robustness.attack_kwargs,
@@ -245,6 +269,8 @@ class RunSpec:
             max_staleness=self.execution.max_staleness,
             straggler_profile=self.cluster.straggler_profile,
             base_compute_seconds=self.cluster.base_compute_seconds,
+            topology=self.cluster.topology,
+            server_rank=self.cluster.server_rank,
         )
 
     def to_dict(self) -> dict:
@@ -305,6 +331,10 @@ class RunSpec:
             "--local-steps", str(spec.execution.local_steps),
             "--max-staleness", str(spec.execution.max_staleness),
         ]
+        if spec.cluster.topology is not None:
+            argv += ["--topology", spec.cluster.topology]
+        if spec.cluster.server_rank is not None:
+            argv += ["--server-rank", str(spec.cluster.server_rank)]
         if spec.optimizer.max_iterations_per_epoch is not None:
             argv += ["--max-iterations-per-epoch", str(spec.optimizer.max_iterations_per_epoch)]
         if not spec.optimizer.evaluate_each_epoch:

@@ -57,6 +57,7 @@ from repro.experiments import (
     fig08_density_sweep,
     fig09_speedup,
     fig10_scaleout,
+    placement_grid,
     robustness_grid,
     staleness_grid,
     table1_properties,
@@ -82,6 +83,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig10": (fig10_scaleout, "Figure 10: DEFT convergence by scale-out"),
     "robustness": (robustness_grid, "Robustness grid: attack x aggregator x sparsifier degradation"),
     "staleness": (staleness_grid, "Staleness grid: execution x sparsifier x straggler profile"),
+    "placement": (placement_grid, "Placement grid: topology x server placement x schedule wallclock"),
 }
 
 
@@ -130,6 +132,17 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="worker compute-speed profile for the virtual clock")
         train.add_argument("--base-compute-seconds", type=float, default=0.02,
                            help="modelled compute seconds of one nominal mini-batch")
+        train.add_argument("--topology", default=None, metavar="SPEC",
+                           help="interconnect topology: flat (default), ring, star, "
+                                "tree[:branching], fat_node:<nodes>x<gpus> "
+                                "(gossip defaults to ring); collectives scale their "
+                                "latency with the graph diameter, server and "
+                                "neighbour traffic is routed over real paths")
+        train.add_argument("--server-rank", type=int, default=None,
+                           help="worker rank hosting the parameter server "
+                                "(required by async_bsp/elastic on graph "
+                                "topologies; push/pull is priced over "
+                                "path_hops(rank, server_rank))")
         # Optimizer / budget.
         train.add_argument("--lr", type=float, default=None,
                            help="learning rate (default: the workload preset)")
@@ -235,6 +248,8 @@ def _spec_from_args(args) -> RunSpec:
             n_workers=args.workers,
             straggler_profile=args.straggler_profile,
             base_compute_seconds=args.base_compute_seconds,
+            topology=args.topology,
+            server_rank=args.server_rank,
         ),
         optimizer=OptimizerSpec(
             lr=args.lr,
@@ -309,6 +324,7 @@ def _command_list(as_json: bool = False) -> int:
         ("aggregator", "Aggregators"),
         ("attack", "Attacks"),
         ("execution", "Execution models"),
+        ("topology", "Topologies"),
         ("model", "Models"),
     ):
         print(f"\n{title}:")
@@ -360,6 +376,9 @@ def _command_train(args) -> int:
         scenario = f" [aggregator={args.aggregator or 'mean'}, attack={args.attack}, f={args.n_byzantine}]"
     if args.execution != "synchronous" or args.straggler_profile != "uniform":
         scenario += f" [execution={args.execution}, stragglers={args.straggler_profile}]"
+    if args.topology is not None or args.server_rank is not None:
+        placement = "" if args.server_rank is None else f", server@{args.server_rank}"
+        scenario += f" [topology={args.topology or 'default'}{placement}]"
     print(f"Trained {args.workload} with {args.sparsifier} on {args.workers} simulated workers{scenario}")
     for key, value in sorted(result.final_metrics.items()):
         print(f"  final {key}: {value:.4f}")

@@ -18,7 +18,16 @@ from repro.comm.backend import CollectiveBackend, ReduceOp
 from repro.comm.simulated import SimulatedBackend
 from repro.comm.traffic import CollectiveRecord, TrafficMeter
 from repro.comm.cost_model import AlphaBetaModel, CommunicationCost
-from repro.comm.topology import ClusterTopology, ring_topology, star_topology, tree_topology
+from repro.comm.topology import (
+    ClusterTopology,
+    TopologySpec,
+    build_topology,
+    fat_node_topology,
+    parse_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
 
 __all__ = [
     "CollectiveBackend",
@@ -29,7 +38,11 @@ __all__ = [
     "AlphaBetaModel",
     "CommunicationCost",
     "ClusterTopology",
+    "TopologySpec",
+    "parse_topology",
+    "build_topology",
     "ring_topology",
     "star_topology",
     "tree_topology",
+    "fat_node_topology",
 ]

@@ -118,7 +118,11 @@ class AlphaBetaModel:
         """
         return {
             "allgather_indices": self.allgather_cost(n_workers, index_payload_per_worker),
-            "allreduce_values": self.allgather_cost(n_workers, value_payload_per_worker),
+            # The value phase is the sum all-reduce of Algorithm 1 (the
+            # trainer's metered path prices "values" allreduce records with
+            # allreduce_cost too); it was historically priced with the
+            # all-gather formula, overcharging the Figure-7 value phase.
+            "allreduce_values": self.allreduce_cost(n_workers, value_payload_per_worker),
             "broadcast_allocation": self.broadcast_cost(n_workers, allocation_payload),
         }
 

@@ -1,0 +1,117 @@
+"""Topology registrations over the unified :mod:`repro.plugins` registry.
+
+Declares the built-in cluster topologies as
+:class:`~repro.plugins.ComponentSpec` entries of kind ``"topology"`` so
+``repro list`` / ``repro describe topology/<name>`` document them and the
+capability matrix can reason about topology/schedule combinations:
+
+- ``neighbor_graph``: whether the topology carries real edges.  The
+  ``gossip`` schedule exchanges deltas over edges and refuses topologies
+  without them (``flat``).
+- ``one_hop_server``: whether a parameter server is implicitly reachable
+  at one hop from every worker without being placed on a rank.  Only
+  ``flat`` (the alpha-beta model's historical pricing) provides that;
+  graph topologies require an explicit ``server_rank`` under
+  parameter-server schedules so the push/pull paths are well defined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.comm.topology import (
+    ClusterTopology,
+    fat_node_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.plugins import ComponentSpec, Kwarg, available_components, register_component
+
+__all__ = ["build_topology_component", "available_topologies"]
+
+KIND = "topology"
+
+
+def flat_topology(n_workers: int) -> Optional[ClusterTopology]:
+    """The no-graph default: every link is one hop, collectives unscaled."""
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    return None
+
+
+def _fat_node(n_workers: int, n_nodes: int, gpus_per_node: int) -> ClusterTopology:
+    from repro.comm.topology import TopologySpec
+
+    spec = TopologySpec(
+        name="fat_node",
+        params=(("n_nodes", n_nodes), ("gpus_per_node", gpus_per_node)),
+    )
+    reason = spec.size_refusal(n_workers)
+    if reason:
+        raise ValueError(reason)
+    return fat_node_topology(n_nodes, gpus_per_node)
+
+
+def _register(name, builder, description, kwargs=(), **capabilities):
+    register_component(
+        ComponentSpec(
+            kind=KIND,
+            name=name,
+            builder=builder,
+            description=description,
+            kwargs=tuple(kwargs),
+            capabilities={
+                "neighbor_graph": True,
+                "one_hop_server": False,
+                **capabilities,
+            },
+        )
+    )
+
+
+_register(
+    "flat",
+    flat_topology,
+    "no graph: every link one hop (the paper's alpha-beta pricing, default)",
+    neighbor_graph=False,
+    one_hop_server=True,
+)
+_register(
+    "ring",
+    ring_topology,
+    "workers in a cycle (ring all-reduce layout)",
+)
+_register(
+    "star",
+    star_topology,
+    "all workers attached to rank 0 (parameter-server hub layout)",
+)
+_register(
+    "tree",
+    tree_topology,
+    "balanced tree rooted at rank 0 (binomial broadcast layout)",
+    kwargs=(Kwarg("branching", "int", 2, "children per tree node"),),
+)
+_register(
+    "fat_node",
+    _fat_node,
+    "paper-like layout: fully connected GPUs per node, ring across nodes "
+    "(spec fat_node:<nodes>x<gpus_per_node>)",
+    kwargs=(
+        Kwarg("n_nodes", "int", None, "number of nodes"),
+        Kwarg("gpus_per_node", "int", None, "workers per node"),
+    ),
+)
+
+
+def build_topology_component(name: str, n_workers: int, **kwargs) -> Optional[ClusterTopology]:
+    """Instantiate a topology by registry name for ``n_workers`` workers."""
+    from repro.plugins import build_component
+
+    return build_component(KIND, name, n_workers, **kwargs)
+
+
+def available_topologies() -> List[str]:
+    """Sorted list of registered topology names."""
+    return available_components(KIND)

@@ -157,7 +157,7 @@ class SimulatedBackend(CollectiveBackend):
             raise ValueError("payload must be non-negative")
         sent = [0] * self.n_workers
         sent[rank] = int(payload)
-        self.meter.record("push", sent, [0] * self.n_workers, tag=tag)
+        self.meter.record("push", sent, [0] * self.n_workers, tag=tag, src=rank)
 
     def pull(self, rank: int, payload: int, tag: str = "") -> None:
         """Record one worker pulling ``payload`` elements from the server."""
@@ -167,7 +167,28 @@ class SimulatedBackend(CollectiveBackend):
             raise ValueError("payload must be non-negative")
         received = [0] * self.n_workers
         received[rank] = int(payload)
-        self.meter.record("pull", [0] * self.n_workers, received, tag=tag)
+        self.meter.record("pull", [0] * self.n_workers, received, tag=tag, dst=rank)
+
+    def send(self, src: int, dst: int, payload: int, tag: str = "") -> None:
+        """Record one worker-to-worker point-to-point message.
+
+        Gossip schedules exchange sparse deltas directly between neighbour
+        ranks; neither endpoint is a server, so both sides of the link are
+        attributed (``payload`` sent by ``src``, received by ``dst``) and
+        the cost model can route the message over the topology path.
+        """
+        for rank in (src, dst):
+            if not 0 <= rank < self.n_workers:
+                raise ValueError(f"rank {rank} out of range for {self.n_workers} workers")
+        if src == dst:
+            raise ValueError("send requires distinct src and dst ranks")
+        if payload < 0:
+            raise ValueError("payload must be non-negative")
+        sent = [0] * self.n_workers
+        sent[src] = int(payload)
+        received = [0] * self.n_workers
+        received[dst] = int(payload)
+        self.meter.record("send", sent, received, tag=tag, src=src, dst=dst)
 
     def reduce_scalar(self, values: Sequence[float], op: ReduceOp = ReduceOp.MEAN, tag: str = "") -> float:
         self._check_ranks(values)

@@ -5,16 +5,33 @@ The paper's cluster is 8 nodes x 4 GPUs.  The alpha-beta model in
 module lets experiments reason about hop counts and bisection when modelling
 multi-node latency (the alpha term grows with tree depth / ring diameter).
 ``networkx`` is used for the graph algorithms.
+
+:class:`TopologySpec` is the user-facing half: a parsed ``--topology``
+string (``"ring"``, ``"star"``, ``"tree:4"``, ``"fat_node:8x4"`` or the
+default ``"flat"``) that builds the matching :class:`ClusterTopology` for a
+given worker count.  ``"flat"`` is the alpha-beta model's implicit layout
+-- every pair of workers (and the parameter server) is one hop apart -- and
+builds no graph at all, which keeps runs without an explicit topology
+priced exactly as before the topology-aware routing existed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
-__all__ = ["ClusterTopology", "ring_topology", "star_topology", "tree_topology", "fat_node_topology"]
+__all__ = [
+    "ClusterTopology",
+    "TopologySpec",
+    "parse_topology",
+    "build_topology",
+    "ring_topology",
+    "star_topology",
+    "tree_topology",
+    "fat_node_topology",
+]
 
 
 @dataclass
@@ -23,6 +40,10 @@ class ClusterTopology:
 
     graph: nx.Graph
     name: str = "custom"
+    #: Lazily filled all-pairs hop table (see :meth:`hops_matrix`).
+    _hops: Optional[Dict[int, Dict[int, int]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_workers(self) -> int:
@@ -41,7 +62,25 @@ class ClusterTopology:
         return float(nx.average_shortest_path_length(self.graph))
 
     def path_hops(self, src: int, dst: int) -> int:
-        return int(nx.shortest_path_length(self.graph, src, dst))
+        return int(self.hops_matrix()[int(src)][int(dst)])
+
+    def hops_matrix(self) -> Dict[int, Dict[int, int]]:
+        """All-pairs hop counts, computed once and cached.
+
+        The trainer prices every push/pull/send of every iteration through
+        this table; recomputing shortest paths per message would dominate
+        the simulation.
+        """
+        if self._hops is None:
+            self._hops = {
+                int(src): {int(dst): int(h) for dst, h in lengths.items()}
+                for src, lengths in nx.all_pairs_shortest_path_length(self.graph)
+            }
+        return self._hops
+
+    def neighbors(self, rank: int) -> List[int]:
+        """Directly connected ranks (one-hop peers), sorted."""
+        return sorted(int(v) for v in self.graph.neighbors(rank))
 
     def latency_scale(self) -> float:
         """Multiplier applied to the alpha term: the graph diameter (>= 1)."""
@@ -106,3 +145,104 @@ def fat_node_topology(n_nodes: int, gpus_per_node: int) -> ClusterTopology:
         for i, leader in enumerate(leaders):
             graph.add_edge(leader, leaders[(i + 1) % n_nodes])
     return ClusterTopology(graph=graph, name="fat_node")
+
+
+# ---------------------------------------------------------------------- #
+# Topology specifications (the ``--topology`` strings).
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TopologySpec:
+    """A parsed topology string: registry name plus its parameters.
+
+    Spec strings are ``name`` or ``name:params``; the parameter grammar is
+    per-topology (``tree:4`` sets the branching factor, ``fat_node:8x4`` is
+    nodes x GPUs-per-node).  ``"flat"`` is the no-graph default pricing
+    every link at one hop.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def text(self) -> str:
+        """The canonical spec string this instance parses back from."""
+        if not self.params:
+            return self.name
+        if self.name == "fat_node":
+            values = dict(self.params)
+            return f"fat_node:{values['n_nodes']}x{values['gpus_per_node']}"
+        return f"{self.name}:" + ",".join(str(v) for _, v in self.params)
+
+    def kwargs(self) -> Dict[str, int]:
+        return dict(self.params)
+
+    # ------------------------------------------------------------------ #
+    def size_refusal(self, n_workers: int) -> Optional[str]:
+        """Why this spec cannot host ``n_workers`` workers, or ``None``."""
+        if self.name == "fat_node":
+            values = dict(self.params)
+            total = values["n_nodes"] * values["gpus_per_node"]
+            if total != n_workers:
+                return (
+                    f"topology {self.text!r} has {total} workers "
+                    f"({values['n_nodes']} nodes x {values['gpus_per_node']} GPUs) "
+                    f"but the cluster has {n_workers}"
+                )
+        return None
+
+    def build(self, n_workers: int) -> Optional[ClusterTopology]:
+        """The concrete graph for ``n_workers`` (``None`` for ``flat``)."""
+        reason = self.size_refusal(n_workers)
+        if reason:
+            raise ValueError(reason)
+        # Imported lazily: the registry module imports repro.plugins, which
+        # must stay importable before this module's components register.
+        from repro.plugins.registry import build_component
+
+        return build_component("topology", self.name, n_workers, **self.kwargs())
+
+
+def parse_topology(text: str) -> TopologySpec:
+    """Parse a ``--topology`` string into its :class:`TopologySpec`.
+
+    Malformed parameter blocks raise ``ValueError``; unknown names are left
+    to the component registry (``KeyError`` naming the alternatives) so
+    topology lookups fail exactly like every other component kind.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ValueError(f"topology spec must be a non-empty string, got {text!r}")
+    name, sep, raw = text.strip().partition(":")
+    name = name.strip()
+    if not sep:
+        if name == "fat_node":
+            raise ValueError(
+                "the fat_node topology needs explicit dimensions: "
+                "use fat_node:<nodes>x<gpus_per_node>, e.g. fat_node:8x4"
+            )
+        return TopologySpec(name=name)
+    raw = raw.strip()
+    if name == "fat_node":
+        nodes_text, _, gpus_text = raw.partition("x")
+        raw_params = (("n_nodes", nodes_text), ("gpus_per_node", gpus_text))
+    elif name == "tree":
+        raw_params = (("branching", raw),)
+    else:
+        raise ValueError(f"topology {name!r} takes no parameters; use plain {name!r}")
+    try:
+        params = tuple((key, int(value)) for key, value in raw_params)
+    except ValueError as exc:
+        raise ValueError(
+            f"malformed topology parameters in {text!r}: "
+            "expected tree:<branching> or fat_node:<nodes>x<gpus_per_node>"
+        ) from exc
+    for _, value in params:
+        if value <= 0:
+            raise ValueError(f"topology parameters must be positive in {text!r}")
+    return TopologySpec(name=name, params=params)
+
+
+def build_topology(text: Optional[str], n_workers: int) -> Optional[ClusterTopology]:
+    """Build the topology of a spec string (``None``/``"flat"`` -> ``None``)."""
+    if text is None:
+        return None
+    return parse_topology(text).build(n_workers)

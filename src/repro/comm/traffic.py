@@ -27,6 +27,13 @@ class CollectiveRecord:
     received_per_rank: List[int]
     #: Optional tag (e.g. "indices", "values", "allocation").
     tag: str = ""
+    #: Originating rank of a point-to-point entry (push/send); None for
+    #: collectives, whose senders are all ranks.
+    src: Optional[int] = None
+    #: Receiving rank of a point-to-point entry (pull/send); None for
+    #: collectives.  The topology-aware cost model routes point-to-point
+    #: records over ``path_hops(src/dst, server_rank)`` paths.
+    dst: Optional[int] = None
 
     @property
     def total_sent(self) -> int:
@@ -53,12 +60,16 @@ class TrafficMeter:
         sent_per_rank: List[int],
         received_per_rank: List[int],
         tag: str = "",
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
     ) -> CollectiveRecord:
         entry = CollectiveRecord(
             op=op,
             sent_per_rank=[int(s) for s in sent_per_rank],
             received_per_rank=[int(r) for r in received_per_rank],
             tag=tag,
+            src=None if src is None else int(src),
+            dst=None if dst is None else int(dst),
         )
         self.records.append(entry)
         return entry

@@ -14,6 +14,9 @@ epoch/iteration loop, and four schedules are registered:
     parameter server with staleness-weighted aggregation.
 ``elastic``
     EASGD-style elastic averaging around a server-held center variable.
+``gossip``
+    Server-less neighbour averaging of sparse deltas over topology edges
+    (no collectives; defaults to a ring topology).
 
 Worker heterogeneity comes from :mod:`repro.execution.straggler`: named
 compute-speed profiles (``uniform``, ``lognormal``, ``straggler``) seeded
@@ -24,6 +27,7 @@ estimated wall-clock that prices straggler waits and server traffic.
 from repro.execution.async_bsp import AsyncBSPExecution
 from repro.execution.base import ExecutionModel, flatten_parameters, load_flat_parameters
 from repro.execution.elastic import ElasticAveragingExecution
+from repro.execution.gossip import GossipExecution
 from repro.execution.local_sgd import LocalSGDExecution
 from repro.execution.registry import available_execution_models, build_execution_model
 from repro.execution.straggler import (
@@ -40,6 +44,7 @@ __all__ = [
     "LocalSGDExecution",
     "AsyncBSPExecution",
     "ElasticAveragingExecution",
+    "GossipExecution",
     "build_execution_model",
     "available_execution_models",
     "STRAGGLER_PROFILES",

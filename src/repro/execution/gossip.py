@@ -1,0 +1,216 @@
+"""Gossip execution: server-less neighbour averaging of sparse deltas.
+
+Decentralised SGD replaces both the parameter server and the collectives
+with point-to-point exchanges over the cluster topology's edges: every
+iteration each worker computes a gradient on its *own* parameter copy,
+accumulates it into its error-feedback memory, sparsifies the accumulator,
+and sends the selected ``(index, value)`` pairs to its direct neighbours.
+Each worker then averages its own sparse delta with the ones it received
+(uniform weights over the closed neighbourhood, the standard symmetric
+gossip matrix for a regular graph) and applies the average to its local
+parameters.  Unsent accumulator mass stays in the worker's error-feedback
+memory exactly as in the BSP exchange.
+
+There is no server and no collective anywhere in the schedule, so a gossip
+run records only ``send`` traffic -- neighbour messages priced
+point-to-point over single topology edges.  On the virtual clock a round
+costs ``max_r(compute_r)`` (the group advances in lock step) plus the
+busiest worker's inbound message time: edges are disjoint links, so
+neighbour exchanges overlap and the round ends when the most-connected
+worker has drained its inbox.
+
+The topology comes from ``TrainingConfig.topology``; when none is
+configured the schedule's declared ``default_topology`` (``ring``) is
+used.  Evaluation and the epoch summary use the consensus average of the
+local parameter copies, mirroring how decentralised training is evaluated
+in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.execution.base import ExecutionModel, flatten_parameters, load_flat_parameters
+from repro.training.metrics import actual_density, mean_error_norm
+from repro.training.timing import IterationTiming
+
+__all__ = ["GossipExecution"]
+
+
+class GossipExecution(ExecutionModel):
+    """Ring/graph gossip schedule (no server, no collectives)."""
+
+    name = "gossip"
+    has_local_models = True
+    uses_parameter_server = False
+
+    def _post_bind(self) -> None:
+        from repro.plugins.capabilities import (
+            check_execution_supports_attack,
+            check_execution_supports_optimizer,
+            check_execution_supports_topology,
+            check_execution_uses_aggregator,
+        )
+
+        config = self.trainer.config
+        check_execution_supports_topology(
+            self.name,
+            topology=config.topology,
+            server_rank=config.server_rank,
+            n_workers=config.n_workers,
+        )
+        # The neighbourhood average is hard-coded (see module docstring);
+        # a configured robust rule would be silently ignored.
+        check_execution_uses_aggregator(self.name, config.aggregator)
+        # The averaged delta is applied to the local copies directly, never
+        # through the trainer's optimizer.
+        check_execution_supports_optimizer(
+            self.name, momentum=config.momentum, weight_decay=config.weight_decay
+        )
+        adversary = self.trainer.adversary
+        check_execution_supports_attack(
+            self.name,
+            attack_name=adversary.name,
+            colluding=adversary.colluding,
+            corrupts_data=adversary.corrupts_data,
+            n_byzantine=adversary.n_byzantine,
+        )
+        if self.trainer.topology is None:  # pragma: no cover - guarded above
+            raise ValueError("gossip requires a neighbour topology")
+        self._neighbors = {
+            rank: self.trainer.topology.neighbors(rank)
+            for rank in range(config.n_workers)
+        }
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> Dict[str, float]:
+        trainer = self._require_trainer()
+        n_workers = trainer.config.n_workers
+        reference = flatten_parameters(trainer.model)
+        local_params = [reference.copy() for _ in range(n_workers)]
+
+        last_summary: Dict[str, float] = {}
+        for epoch in range(trainer.config.epochs):
+            iterators = [iter(loader) for loader in trainer.loaders]
+            n_iterations = trainer.epoch_iteration_budget()
+            epoch_metrics: List[Dict[str, float]] = []
+            for _ in range(n_iterations):
+                batches = [next(it) for it in iterators]
+                lr = trainer.schedule.lr_at(trainer.iteration)
+                epoch_metrics.append(self._iteration(trainer, batches, lr, local_params))
+            # Consensus average for evaluation and the epoch summary.
+            load_flat_parameters(trainer.model, np.mean(local_params, axis=0))
+            last_summary = trainer.log_epoch_summary(epoch, epoch_metrics)
+        return last_summary
+
+    # ------------------------------------------------------------------ #
+    def _iteration(
+        self,
+        trainer,
+        batches,
+        lr: float,
+        local_params: List[np.ndarray],
+    ) -> Dict[str, float]:
+        n_workers = trainer.config.n_workers
+        losses = np.zeros(n_workers)
+
+        # 1-2. Local gradients on each worker's own parameters, accumulated
+        # into its error-feedback memory (same hooks as the BSP loop:
+        # data poisoning before the gradient, accumulator attacks after).
+        if trainer.adversary.corrupts_data:
+            batches = [
+                trainer.adversary.corrupt_batch(trainer.iteration, rank, batches[rank])
+                for rank in range(n_workers)
+            ]
+        accumulators: List[np.ndarray] = []
+        for rank in range(n_workers):
+            load_flat_parameters(trainer.model, local_params[rank])
+            loss, grad = trainer.worker_gradient(rank, batches[rank])
+            losses[rank] = loss
+            accumulators.append(trainer.memories[rank].accumulate(grad, lr))
+        honest_accumulators = accumulators
+        if trainer.adversary.n_byzantine:
+            accumulators = trainer.adversary.corrupt_accumulators(trainer.iteration, accumulators)
+
+        # 3-4. Per-worker selection (no collective coordinate phase exists
+        # here; coordinated robust statistics use the same group-view hook
+        # as the async schedule).
+        if hasattr(trainer.sparsifier, "share_robust_norms"):
+            trainer.sparsifier.share_robust_norms(trainer.iteration, accumulators)
+        selections: List[np.ndarray] = []
+        selection_seconds = 0.0
+        for rank in range(n_workers):
+            result = trainer.sparsifier.select(trainer.iteration, rank, accumulators[rank])
+            selections.append(np.asarray(result.indices, dtype=np.int64))
+            selection_seconds = max(selection_seconds, result.selection_seconds)
+
+        # 5-6. Neighbour exchange and closed-neighbourhood averaging.  Each
+        # neighbour message carries the sender's indices and values
+        # (2 * k_j elements) over one topology edge; inbound messages per
+        # worker are serialised, distinct edges overlap.
+        comm_records_before = len(trainer.backend.meter.records)
+        inbound_seconds = np.zeros(n_workers)
+        for rank in range(n_workers):
+            for neighbor in self._neighbors[rank]:
+                payload = 2 * int(selections[neighbor].shape[0])
+                trainer.backend.send(neighbor, rank, payload, tag="gossip")
+                inbound_seconds[rank] += trainer.point_to_point_seconds(
+                    payload, neighbor, rank
+                )
+        communication_seconds = float(inbound_seconds.max()) if n_workers > 1 else 0.0
+        comm_elements = sum(
+            record.total_sent
+            for record in trainer.backend.meter.records[comm_records_before:]
+        )
+
+        for rank in range(n_workers):
+            group = [rank] + self._neighbors[rank]
+            union = np.unique(np.concatenate([selections[j] for j in group]))
+            average = np.zeros(union.shape[0], dtype=np.float64)
+            for j in group:
+                positions = np.searchsorted(union, selections[j])
+                average[positions] += accumulators[j][selections[j]]
+            average /= len(group)
+            local_params[rank][union] -= average
+
+        # 7. Error feedback: each worker zeroes what it put on the wire.
+        for rank in range(n_workers):
+            trainer.memories[rank].update(honest_accumulators[rank], selections[rank])
+
+        # Lock-step round on the virtual clock.
+        trainer.clock.advance_all(
+            trainer.speed_model.slowest_batch_seconds() + communication_seconds
+        )
+        trainer.timing.add(
+            IterationTiming(
+                forward=trainer.speed_model.slowest_batch_seconds() * 0.5,
+                backward=trainer.speed_model.slowest_batch_seconds() * 0.5,
+                selection=selection_seconds,
+                communication=communication_seconds,
+                partition=0.0,
+            )
+        )
+
+        global_union = np.unique(np.concatenate(selections))
+        density = actual_density(int(global_union.shape[0]), trainer.n_gradients)
+        error = mean_error_norm([m.error_norm() for m in trainer.memories])
+        metrics = {
+            "loss": float(losses.mean()),
+            "density": density,
+            "error": error,
+            "k_global": float(global_union.shape[0]),
+            "lr": float(lr),
+        }
+        it = trainer.iteration
+        trainer.logger.log_scalar("loss", it, metrics["loss"])
+        trainer.logger.log_scalar("density", it, density)
+        trainer.logger.log_scalar("error", it, error)
+        trainer.logger.log_scalar("k_global", it, metrics["k_global"])
+        trainer.logger.log_scalar("selection_seconds", it, selection_seconds)
+        trainer.logger.log_scalar("communication_seconds", it, communication_seconds)
+        trainer.logger.log_scalar("communication_elements", it, float(comm_elements))
+        trainer.logger.log_scalar("virtual_time", it, trainer.clock.now)
+        trainer.iteration += 1
+        return metrics

@@ -12,7 +12,14 @@ runner-level aggregator auto-selection:
 - ``supports_momentum``: whether the optimizer's momentum/weight-decay
   knobs take effect (``elastic`` bypasses the optimizer),
 - ``default_aggregator``: the aggregation rule a schedule runs with when
-  the config leaves it unset (``async_bsp`` weighs pushes by age).
+  the config leaves it unset (``async_bsp`` weighs pushes by age),
+- ``uses_aggregator``: whether the configured aggregation rule is ever
+  invoked (``gossip`` hard-codes the neighbourhood mean),
+- ``requires_neighbor_topology``: whether the schedule exchanges over
+  topology edges and therefore refuses the edge-less ``flat`` topology,
+- ``default_topology``: the topology a schedule assumes when none is
+  configured (``gossip`` defaults to ``ring``; everything else to the
+  flat one-hop pricing).
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 from repro.execution.async_bsp import AsyncBSPExecution
 from repro.execution.base import ExecutionModel
 from repro.execution.elastic import ElasticAveragingExecution
+from repro.execution.gossip import GossipExecution
 from repro.execution.local_sgd import LocalSGDExecution
 from repro.execution.synchronous import SynchronousExecution
 from repro.plugins import ComponentSpec, Kwarg, available_components, build_component, register_component
@@ -44,6 +52,9 @@ def _register(name, builder, description, kwargs=(), **capabilities):
                 "exchanges_gradients": True,
                 "supports_momentum": True,
                 "default_aggregator": None,
+                "uses_aggregator": True,
+                "requires_neighbor_topology": False,
+                "default_topology": None,
                 **capabilities,
             },
         )
@@ -74,6 +85,15 @@ _register(
     kwargs=(Kwarg("elastic_alpha", "float", None, "elastic force (None = 0.9 / n_workers)"),),
     exchanges_gradients=False,
     supports_momentum=False,
+)
+_register(
+    "gossip",
+    GossipExecution,
+    "server-less neighbour averaging of sparse deltas over topology edges",
+    supports_momentum=False,
+    uses_aggregator=False,
+    requires_neighbor_topology=True,
+    default_topology="ring",
 )
 
 

@@ -141,5 +141,12 @@ class VirtualClock:
         return self._now
 
     def idle_seconds(self) -> List[float]:
-        """Per-worker time spent waiting at the last barrier."""
-        return [float(self._now - t) for t in self.worker_time]
+        """Per-worker time spent waiting at the last barrier.
+
+        Measured against the :attr:`now` property (never behind any
+        worker), so a worker that ran ahead of the last global event under
+        an event-driven schedule reports zero idle time, not a negative
+        one.
+        """
+        now = self.now
+        return [float(now - t) for t in self.worker_time]

@@ -29,6 +29,7 @@ fig09           Figure 9  (selection speedup by scale-out)
 fig10           Figure 10 (DEFT convergence by scale-out)
 robustness      Beyond the paper: attack x aggregator x sparsifier
 staleness       Beyond the paper: execution x sparsifier x straggler
+placement       Beyond the paper: topology x server placement x schedule
 ==============  ====================================================
 """
 
@@ -43,6 +44,7 @@ from repro.experiments import (
     fig08_density_sweep,
     fig09_speedup,
     fig10_scaleout,
+    placement_grid,
     robustness_grid,
     staleness_grid,
     table1_properties,
@@ -63,6 +65,7 @@ __all__ = [
     "fig08_density_sweep",
     "fig09_speedup",
     "fig10_scaleout",
+    "placement_grid",
     "robustness_grid",
     "staleness_grid",
 ]

@@ -56,6 +56,8 @@ def build_run_spec(
     max_staleness: int = 4,
     straggler_profile: str = "uniform",
     base_compute_seconds: float = 0.02,
+    topology: Optional[str] = None,
+    server_rank: Optional[int] = None,
 ) -> RunSpec:
     """The layered :class:`RunSpec` of the historical flat keyword soup.
 
@@ -73,6 +75,8 @@ def build_run_spec(
             n_workers=n_workers,
             straggler_profile=straggler_profile,
             base_compute_seconds=base_compute_seconds,
+            topology=topology,
+            server_rank=server_rank,
         ),
         optimizer=OptimizerSpec(
             lr=lr,

@@ -20,8 +20,11 @@ from repro.plugins.registry import get_component
 
 __all__ = [
     "default_aggregator_for",
+    "default_topology_for",
     "check_execution_supports_attack",
     "check_execution_supports_optimizer",
+    "check_execution_supports_topology",
+    "check_execution_uses_aggregator",
     "check_byzantine_count",
     "validate_run_combination",
     "combination_refusal",
@@ -39,6 +42,18 @@ def default_aggregator_for(execution: str) -> str:
     """
     spec = get_component("execution", execution)
     return spec.capability("default_aggregator") or "mean"
+
+
+def default_topology_for(execution: str) -> Optional[str]:
+    """The topology a schedule assumes when none is configured.
+
+    Declared by the execution model's ``default_topology`` capability
+    (``gossip`` averages over neighbour edges, so it declares ``ring``);
+    everything else defaults to ``None`` -- the flat alpha-beta pricing
+    with every link one hop.
+    """
+    spec = get_component("execution", execution)
+    return spec.capability("default_topology")
 
 
 def _byzantine_count_refusal(n_workers: int, n_byzantine: int) -> Optional[str]:
@@ -135,6 +150,110 @@ def check_execution_supports_optimizer(
         raise ValueError(reason)
 
 
+def _topology_refusal(
+    execution: str,
+    *,
+    topology: Optional[str],
+    server_rank: Optional[int],
+    n_workers: int,
+) -> Optional[str]:
+    """Why a schedule refuses a topology/server placement, or ``None``.
+
+    Malformed topology strings raise ``ValueError`` and unknown topology
+    names raise ``KeyError`` (a typo is a bug, not a prunable cell); the
+    returned reasons cover the capability-driven rules:
+
+    - parameter-server schedules refuse graph topologies without an
+      explicit ``server_rank`` (only ``flat`` prices the server at one hop
+      from everywhere without placing it),
+    - server-less schedules refuse a ``server_rank`` (there is no server
+      to place),
+    - neighbour-exchanging schedules (gossip) refuse topologies without a
+      neighbour graph,
+    - a placement must fit the cluster (rank in range, fat_node dimensions
+      matching ``n_workers``).
+    """
+    # Imported lazily so repro.plugins stays importable while the comm
+    # package's own registry module (which imports repro.plugins back)
+    # is still initialising.
+    from repro.comm.topology import parse_topology
+
+    caps = get_component("execution", execution).capabilities
+    if topology is None:
+        topology = caps.get("default_topology") or "flat"
+    spec = parse_topology(topology)
+    topo_caps = get_component("topology", spec.name).capabilities
+    reason = spec.size_refusal(n_workers)
+    if reason:
+        return reason
+    if server_rank is not None and not 0 <= server_rank < n_workers:
+        return f"server_rank {server_rank} out of range for {n_workers} workers"
+    if caps.get("parameter_server", False):
+        if server_rank is None and not topo_caps.get("one_hop_server", False):
+            return (
+                f"the {execution} schedule routes every exchange through a "
+                f"parameter server, but the {spec.name!r} topology does not "
+                "price an unplaced server at one hop; set server_rank to "
+                "place the server on a worker rank"
+            )
+    elif server_rank is not None:
+        return (
+            f"the {execution} schedule has no parameter server to place; "
+            "server_rank only applies to parameter-server schedules "
+            "(async_bsp, elastic)"
+        )
+    if caps.get("requires_neighbor_topology", False) and not topo_caps.get(
+        "neighbor_graph", False
+    ):
+        return (
+            f"the {execution} schedule exchanges deltas over topology "
+            f"edges, which the {spec.name!r} topology does not have; pick "
+            "a graph topology (ring, star, tree, fat_node)"
+        )
+    return None
+
+
+def check_execution_supports_topology(
+    execution: str,
+    *,
+    topology: Optional[str],
+    server_rank: Optional[int],
+    n_workers: int,
+) -> None:
+    """Refuse topology/schedule/placement combinations that cannot be priced."""
+    reason = _topology_refusal(
+        execution, topology=topology, server_rank=server_rank, n_workers=n_workers
+    )
+    if reason:
+        raise ValueError(reason)
+
+
+def _aggregator_use_refusal(execution: str, aggregator: Optional[str]) -> Optional[str]:
+    caps = get_component("execution", execution).capabilities
+    if caps.get("uses_aggregator", True):
+        return None
+    if aggregator in (None, "mean"):
+        return None
+    return (
+        f"the {execution} schedule averages neighbour contributions itself "
+        f"and never invokes the aggregation rule; the {aggregator!r} "
+        "aggregator would be silently ignored -- leave the aggregator "
+        "unset (mean) or pick another execution model"
+    )
+
+
+def check_execution_uses_aggregator(execution: str, aggregator: Optional[str]) -> None:
+    """Refuse aggregation rules a schedule would silently ignore.
+
+    Driven by the ``uses_aggregator`` capability (gossip hard-codes the
+    neighbourhood mean and has no aggregation point a rule could plug
+    into).
+    """
+    reason = _aggregator_use_refusal(execution, aggregator)
+    if reason:
+        raise ValueError(reason)
+
+
 def _robust_norms_refusal(
     sparsifier: str, sparsifier_kwargs: Optional[Mapping[str, Any]]
 ) -> Optional[str]:
@@ -165,6 +284,8 @@ def validate_run_combination(
     n_byzantine: int = 0,
     momentum: float = 0.0,
     weight_decay: float = 0.0,
+    topology: Optional[str] = None,
+    server_rank: Optional[int] = None,
     sparsifier_kwargs: Optional[Mapping[str, Any]] = None,
     aggregator_kwargs: Optional[Mapping[str, Any]] = None,
     attack_kwargs: Optional[Mapping[str, Any]] = None,
@@ -190,6 +311,10 @@ def validate_run_combination(
     check_execution_supports_optimizer(
         execution, momentum=momentum, weight_decay=weight_decay
     )
+    check_execution_supports_topology(
+        execution, topology=topology, server_rank=server_rank, n_workers=n_workers
+    )
+    check_execution_uses_aggregator(execution, aggregator)
 
     get_component("aggregator", aggregator)
     _check_component_kwargs("aggregator", aggregator, aggregator_kwargs)
@@ -221,6 +346,8 @@ def combination_refusal(
     n_byzantine: int = 0,
     momentum: float = 0.0,
     weight_decay: float = 0.0,
+    topology: Optional[str] = None,
+    server_rank: Optional[int] = None,
     sparsifier_kwargs: Optional[Mapping[str, Any]] = None,
 ) -> Optional[str]:
     """Why the capability matrix refuses a combination, or ``None`` if valid.
@@ -245,6 +372,14 @@ def combination_refusal(
     if reason:
         return reason
     reason = _optimizer_refusal(execution, momentum=momentum, weight_decay=weight_decay)
+    if reason:
+        return reason
+    reason = _topology_refusal(
+        execution, topology=topology, server_rank=server_rank, n_workers=n_workers
+    )
+    if reason:
+        return reason
+    reason = _aggregator_use_refusal(execution, aggregator)
     if reason:
         return reason
     if sparsifier is not None:

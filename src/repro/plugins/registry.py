@@ -37,6 +37,7 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "attack": "repro.attacks.registry",
     "execution": "repro.execution.registry",
     "model": "repro.models.registry",
+    "topology": "repro.comm.registry",
 }
 
 

@@ -151,6 +151,8 @@ def spec_refusal(spec: RunSpec) -> Optional[str]:
         n_byzantine=spec.robustness.n_byzantine,
         momentum=spec.optimizer.momentum,
         weight_decay=spec.optimizer.weight_decay,
+        topology=spec.cluster.topology,
+        server_rank=spec.cluster.server_rank,
         sparsifier_kwargs=spec.compression.kwargs,
     )
 

@@ -121,6 +121,17 @@ class TrainingConfig:
     straggler_profile: str = "uniform"
     #: Modelled compute seconds of one mini-batch on a nominal worker.
     base_compute_seconds: float = 0.02
+    #: Cluster topology spec ("ring", "star", "tree:4", "fat_node:8x4").
+    #: None resolves to the execution model's declared default at
+    #: construction time ("ring" under gossip, else the flat alpha-beta
+    #: pricing with every link one hop).
+    topology: Optional[str] = None
+    #: Worker rank hosting the parameter server.  Required by
+    #: parameter-server schedules (async_bsp, elastic) on graph
+    #: topologies -- push/pull traffic is then priced over
+    #: ``path_hops(rank, server_rank)`` -- and refused by server-less
+    #: schedules.
+    server_rank: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
@@ -146,6 +157,19 @@ class TrainingConfig:
             from repro.plugins.capabilities import default_aggregator_for
 
             self.aggregator = default_aggregator_for(self.execution)
+        from repro.plugins.capabilities import (
+            check_execution_supports_topology,
+            default_topology_for,
+        )
+
+        if self.topology is None:
+            self.topology = default_topology_for(self.execution)
+        check_execution_supports_topology(
+            self.execution,
+            topology=self.topology,
+            server_rank=self.server_rank,
+            n_workers=self.n_workers,
+        )
 
     def schedule(self) -> LRSchedule:
         return self.lr_schedule if self.lr_schedule is not None else ConstantLR(self.lr)
@@ -231,6 +255,23 @@ class DistributedTrainer:
         # the concrete execution models, which import training submodules.
         from repro.execution.registry import build_execution_model
 
+        # Topology-aware pricing: the modelled graph (None = the flat
+        # alpha-beta layout), the diameter scaling of collective latency,
+        # and the per-rank hop count to the parameter server.
+        from repro.comm.topology import build_topology
+
+        self.topology = build_topology(config.topology, config.n_workers)
+        self._latency_scale = (
+            self.topology.latency_scale() if self.topology is not None else 1.0
+        )
+        if self.topology is not None and config.server_rank is not None:
+            self._server_hops = [
+                float(self.topology.path_hops(rank, config.server_rank))
+                for rank in range(config.n_workers)
+            ]
+        else:
+            self._server_hops = [1.0] * config.n_workers
+
         self.speed_model = WorkerSpeedModel(
             config.n_workers,
             base_compute_seconds=config.base_compute_seconds,
@@ -264,6 +305,8 @@ class DistributedTrainer:
             n_byzantine=self.adversary.n_byzantine,
             execution=self.execution.name,
             straggler_profile=config.straggler_profile,
+            topology=config.topology or "flat",
+            server_rank=config.server_rank,
         )
         self.timing = TimingAccumulator()
         self.iteration = 0
@@ -474,26 +517,64 @@ class DistributedTrainer:
         self.iteration += 1
         return metrics
 
+    def point_to_point_seconds(
+        self, payload: float, src: Optional[int], dst: Optional[int]
+    ) -> float:
+        """Modelled seconds of one worker-to-worker message.
+
+        Routed over the topology's ``src``-to-``dst`` path; one hop when no
+        topology (or no endpoints) is configured.  This is the single
+        pricing rule for ``send`` records -- the gossip schedule and
+        :meth:`_model_communication` both use it, so their numbers agree.
+        """
+        hops = (
+            float(self.topology.path_hops(src, dst))
+            if self.topology is not None and src is not None and dst is not None
+            else 1.0
+        )
+        return self.cost_model.point_to_point_cost(payload, hops=hops).total
+
     def _model_communication(self, records_before: int) -> float:
-        """Convert this iteration's communication calls into modelled seconds."""
+        """Convert this iteration's communication calls into modelled seconds.
+
+        Collectives pay the alpha-beta formulas with their latency term
+        scaled by the topology diameter (``latency_scale``); server
+        push/pull records are routed over the real worker-to-server path
+        (``path_hops(rank, server_rank)``); worker-to-worker sends over the
+        ``src``/``dst`` path.  Without a topology every link is one hop and
+        the scale is 1, reproducing the flat pricing bit for bit.
+        """
         n = self.config.n_workers
+        scale = self._latency_scale
         seconds = 0.0
         for record in self.backend.meter.records[records_before:]:
             if record.op == "allgather":
-                seconds += self.cost_model.allgather_cost(n, record.max_sent).total
+                cost = self.cost_model.allgather_cost(n, record.max_sent)
             elif record.op == "allreduce":
                 payload = record.received_per_rank[0] if record.received_per_rank else 0
-                seconds += self.cost_model.allreduce_cost(n, payload).total
+                cost = self.cost_model.allreduce_cost(n, payload)
             elif record.op == "broadcast":
                 payload = record.received_per_rank[0] if record.received_per_rank else 0
-                seconds += self.cost_model.broadcast_cost(n, payload).total
+                cost = self.cost_model.broadcast_cost(n, payload)
             elif record.op == "gather":
-                seconds += self.cost_model.allgather_cost(n, record.max_sent).total
+                cost = self.cost_model.allgather_cost(n, record.max_sent)
             elif record.op == "push":
-                seconds += self.cost_model.push_cost(record.max_sent).total
+                hops = self._server_hops[record.src] if record.src is not None else 1.0
+                seconds += self.cost_model.push_cost(record.max_sent, hops=hops).total
+                continue
             elif record.op == "pull":
                 payload = max(record.received_per_rank) if record.received_per_rank else 0
-                seconds += self.cost_model.pull_cost(payload).total
+                hops = self._server_hops[record.dst] if record.dst is not None else 1.0
+                seconds += self.cost_model.pull_cost(payload, hops=hops).total
+                continue
+            elif record.op == "send":
+                seconds += self.point_to_point_seconds(
+                    record.max_sent, record.src, record.dst
+                )
+                continue
+            else:
+                continue
+            seconds += cost.latency * scale + cost.bandwidth
         return seconds
 
     # ------------------------------------------------------------------ #

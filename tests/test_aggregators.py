@@ -264,10 +264,20 @@ class TestStalenessWeightedMean:
         # The second call has no announced ages: plain mean again.
         np.testing.assert_allclose(agg.aggregate(matrix), [2.0])
 
-    def test_mismatched_age_count_falls_back_to_uniform(self):
+    def test_mismatched_age_count_raises(self):
+        """Regression: a mis-announced ages vector used to degrade silently
+        to the plain mean, dropping the staleness protection with no
+        signal; a length mismatch is a schedule bug and must raise."""
         matrix = np.array([[1.0], [3.0]])
         agg = make("staleness_weighted_mean", n_workers=2)
         agg.set_ages([0.0, 1.0, 2.0])
+        with pytest.raises(ValueError, match="one age per aggregated row"):
+            agg.aggregate(matrix)
+
+    def test_no_announced_ages_still_uniform(self):
+        """The documented synchronous fallback survives the mismatch fix."""
+        matrix = np.array([[1.0], [3.0]])
+        agg = make("staleness_weighted_mean", n_workers=2)
         np.testing.assert_allclose(agg.aggregate(matrix), [2.0])
 
     def test_negative_age_rejected(self):

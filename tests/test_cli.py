@@ -39,6 +39,7 @@ class TestListJson:
         payload = json.loads(capsys.readouterr().out)
         assert set(payload["components"]) == {
             "sparsifier", "aggregator", "attack", "execution", "model",
+            "topology",
         }
         names = [entry["name"] for entry in payload["components"]["sparsifier"]]
         assert "deft" in names
@@ -235,7 +236,7 @@ class TestExperiment:
         assert set(EXPERIMENTS) == {
             "fig01", "table1", "table2", "fig03", "fig04", "fig05",
             "fig06", "fig07", "fig08", "fig09", "fig10", "robustness",
-            "staleness",
+            "staleness", "placement",
         }
 
     def test_experiment_fig09(self, capsys):

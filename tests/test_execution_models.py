@@ -41,7 +41,7 @@ def run_with(task, execution, sparsifier="deft", density=0.05, n_workers=4, iter
 class TestRegistry:
     def test_available_names(self):
         assert available_execution_models() == [
-            "async_bsp", "elastic", "local_sgd", "synchronous",
+            "async_bsp", "elastic", "gossip", "local_sgd", "synchronous",
         ]
 
     def test_unknown_name_rejected(self):
@@ -117,6 +117,20 @@ class TestVirtualClock:
         clock.advance_to(2.0)
         clock.advance_to(1.0)
         assert clock.now == pytest.approx(2.0)
+
+    def test_idle_seconds_never_negative_for_workers_ahead(self):
+        """Regression: a worker that ran ahead of the last global event
+        (async/elastic event loops) must report zero idle time, not a
+        negative one -- idle is measured against the `now` property."""
+        clock = VirtualClock(3)
+        clock.advance_to(1.0)
+        clock.advance_worker(0, 2.5)  # ahead of the last global event
+        clock.advance_worker(1, 0.5)
+        idle = clock.idle_seconds()
+        assert all(i >= 0.0 for i in idle)
+        assert idle[0] == pytest.approx(0.0)
+        assert idle[1] == pytest.approx(2.0)
+        assert idle[2] == pytest.approx(2.5)
 
 
 class TestParameterFlattening:
