@@ -36,6 +36,7 @@ from repro.api.spec import (
     RobustnessSpec,
     RunSpec,
 )
+from repro.observability import ObservabilitySpec
 
 __all__ = [
     "RunSpec",
@@ -44,6 +45,7 @@ __all__ = [
     "CompressionSpec",
     "RobustnessSpec",
     "ExecutionSpec",
+    "ObservabilitySpec",
     "RunResult",
     "Session",
     "run",

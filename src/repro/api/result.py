@@ -34,6 +34,10 @@ class RunResult:
     #: Communication summary: total elements sent, per-tag breakdown and
     #: the number of collective/point-to-point calls.
     traffic: Dict[str, object] = field(default_factory=dict)
+    #: Observability payload when the run asked for it: ``"trace"`` (the
+    #: Chrome trace-event JSON object) and/or ``"metrics"`` (the metrics
+    #: registry snapshot).  ``None`` when observability was disabled.
+    observability: Optional[Dict[str, object]] = None
     #: True when this result was rehydrated from a serialised summary
     #: (:meth:`from_dict` -- e.g. a sweep-cache hit or a worker-process
     #: return) rather than produced by a live trainer.  Rehydrated results
@@ -88,7 +92,7 @@ class RunResult:
         return self.training.estimated_wallclock
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "spec": self.spec.to_dict(),
             "final_metrics": {k: float(v) for k, v in self.final_metrics.items()},
             "mean_density": float(self.mean_density()),
@@ -97,6 +101,9 @@ class RunResult:
             "estimated_wallclock": float(self.estimated_wallclock),
             "traffic": self.traffic,
         }
+        if self.observability is not None:
+            out["observability"] = self.observability
+        return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -126,9 +133,11 @@ class RunResult:
             epochs_run=int(data["epochs_run"]),
             estimated_wallclock=float(data["estimated_wallclock"]),
         )
+        observability = data.get("observability")
         return cls(
             spec=spec,
             training=training,
             traffic=dict(data.get("traffic", {})),
+            observability=dict(observability) if observability is not None else None,
             cached=True,
         )

@@ -115,7 +115,22 @@ class Session:
             "by_tag": {tag: int(count) for tag, count in meter.by_tag().items()},
             "calls": len(meter.records),
         }
-        return RunResult(spec=resolved, training=training_result, traffic=traffic)
+        observability = None
+        if trainer.obs.enabled:
+            observability = {}
+            if trainer.obs.trace_enabled:
+                observability["trace"] = trainer.obs.tracer.to_chrome_trace(
+                    estimated_wallclock=float(training_result.estimated_wallclock),
+                    execution=resolved.execution.model,
+                )
+            if trainer.obs.metrics_enabled:
+                observability["metrics"] = trainer.obs.metrics.snapshot()
+        return RunResult(
+            spec=resolved,
+            training=training_result,
+            traffic=traffic,
+            observability=observability,
+        )
 
     # ------------------------------------------------------------------ #
     # Component introspection (the machine-readable surface of `repro

@@ -25,6 +25,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.execution.straggler import STRAGGLER_PROFILES
+from repro.observability import ObservabilitySpec
 from repro.plugins import (
     default_aggregator_for,
     default_topology_for,
@@ -140,6 +141,10 @@ class RunSpec:
     compression: CompressionSpec = field(default_factory=CompressionSpec)
     robustness: RobustnessSpec = field(default_factory=RobustnessSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    #: What the run records about itself (span tracing, metrics).  Not a
+    #: semantic knob: it never changes the training outcome and is excluded
+    #: from the sweep cache's spec key.
+    observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
 
     # ------------------------------------------------------------------ #
     # Resolution and validation.
@@ -204,6 +209,7 @@ class RunSpec:
             compression=compression,
             robustness=robustness,
             execution=replace(self.execution, kwargs=dict(self.execution.kwargs)),
+            observability=replace(self.observability),
         )
         resolved.validate()
         return resolved
@@ -271,6 +277,7 @@ class RunSpec:
             base_compute_seconds=self.cluster.base_compute_seconds,
             topology=self.cluster.topology,
             server_rank=self.cluster.server_rank,
+            observability=replace(self.observability),
         )
 
     def to_dict(self) -> dict:
@@ -286,6 +293,7 @@ class RunSpec:
             "compression": CompressionSpec,
             "robustness": RobustnessSpec,
             "execution": ExecutionSpec,
+            "observability": ObservabilitySpec,
         }
         kwargs: Dict[str, Any] = {}
         for key, section_cls in sections.items():
@@ -341,6 +349,10 @@ class RunSpec:
             argv.append("--no-eval-each-epoch")
         if spec.run_name:
             argv += ["--run-name", spec.run_name]
+        if spec.observability.trace:
+            argv.append("--trace")
+        if spec.observability.metrics:
+            argv.append("--observe-metrics")
         for flag, kwargs in (
             ("--sparsifier-arg", spec.compression.kwargs),
             ("--aggregator-arg", spec.robustness.aggregator_kwargs),

@@ -45,6 +45,7 @@ from repro.api.spec import (
     RobustnessSpec,
     RunSpec,
 )
+from repro.observability import ObservabilitySpec
 from repro.execution import STRAGGLER_PROFILES
 from repro.plugins import default_aggregator_for
 from repro.experiments import (
@@ -195,6 +196,15 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="local steps between averaging rounds (local_sgd/elastic)")
         train.add_argument("--max-staleness", type=int, default=4,
                            help="bounded-staleness window of async_bsp (0 = lock step)")
+        # Observability.
+        train.add_argument("--trace", nargs="?", const="", default=None,
+                           metavar="OUT.json",
+                           help="record per-worker per-iteration spans; with a "
+                                "path, write a Chrome trace-event JSON openable "
+                                "in Perfetto (ui.perfetto.dev) or chrome://tracing")
+        train.add_argument("--observe-metrics", action="store_true",
+                           help="record counters/gauges/histograms over the run "
+                                "and print the snapshot summary")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper figure/table")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -222,6 +232,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "or ~/.cache/repro/results)")
     sweep.add_argument("--out", default=None, metavar="RESULTS.json",
                        help="write the per-cell result summaries as JSON")
+    sweep.add_argument("--progress", action="store_true",
+                       help="prefix per-cell outcome lines with [done/total] "
+                            "and an ETA estimate")
 
     return parser
 
@@ -286,6 +299,10 @@ def _spec_from_args(args) -> RunSpec:
             local_steps=args.local_steps,
             max_staleness=args.max_staleness,
             kwargs=_coerced_kwargs("execution", args.execution, args.execution_kwargs),
+        ),
+        observability=ObservabilitySpec(
+            trace=args.trace is not None,
+            metrics=args.observe_metrics,
         ),
     )
 
@@ -385,6 +402,24 @@ def _command_train(args) -> int:
     print(f"  mean actual density: {result.mean_density():.4f}")
     print(f"  iterations run: {result.iterations_run}")
     print(f"  estimated wall-clock: {result.estimated_wallclock:.4f}s")
+    if result.observability:
+        trace_payload = result.observability.get("trace")
+        if trace_payload is not None:
+            totals = trace_payload["otherData"]["simulated_phase_totals"]
+            on_clock = totals["compute"] + totals["collective"] + totals["push_pull"]
+            print(f"  trace: {trace_payload['otherData']['n_spans']} spans, "
+                  f"simulated compute+comm {on_clock:.4f}s")
+            if args.trace:
+                with open(args.trace, "w") as handle:
+                    json.dump(trace_payload, handle)
+                print(f"  wrote Chrome trace to {args.trace} "
+                      f"(open in https://ui.perfetto.dev or chrome://tracing)")
+        metrics_payload = result.observability.get("metrics")
+        if metrics_payload is not None:
+            n_instruments = sum(len(group) for group in metrics_payload.values())
+            print(f"  metrics: {n_instruments} instruments recorded")
+            for name, value in sorted(metrics_payload.get("counters", {}).items()):
+                print(f"    {name} = {value}")
     return 0
 
 
@@ -438,22 +473,43 @@ def _command_sweep_grid(args) -> int:
     print(f"sweeping {len(expansion.specs)} cells "
           f"(jobs={args.jobs}, cache={'off' if cache is None else cache.root})")
 
+    import time as _time
+
+    total_cells = len(expansion.specs)
+    settled = {"count": 0}
+    sweep_start = _time.perf_counter()
+
     def _progress(outcome) -> None:
+        settled["count"] += 1
+        prefix = "  "
+        suffix = ""
+        if args.progress:
+            done = settled["count"]
+            prefix = f"  [{done}/{total_cells}] "
+            remaining = total_cells - done
+            if remaining:
+                # ETA from the mean settle pace so far; cache hits settle
+                # almost instantly and pull the estimate down accordingly.
+                eta = (_time.perf_counter() - sweep_start) / done * remaining
+                suffix = f"  eta {eta:.1f}s"
         if outcome.error is not None:
-            print(f"  [error] {_cell_label(outcome.spec)} -- {outcome.error}")
+            print(f"{prefix}[error] {_cell_label(outcome.spec)} -- {outcome.error}{suffix}")
             return
         metrics = ", ".join(
             f"{key}={value:.4f}" for key, value in sorted(outcome.result.final_metrics.items())
         )
-        print(f"  [{outcome.source:>5}] {_cell_label(outcome.spec)}  {metrics}  "
-              f"({outcome.seconds:.2f}s)")
+        print(f"{prefix}[{outcome.source:>5}] {_cell_label(outcome.spec)}  {metrics}  "
+              f"({outcome.seconds:.2f}s){suffix}")
 
     report = run_sweep(expansion.specs, jobs=args.jobs, cache=cache, progress=_progress)
     counts = report.counts()
+    by_source = report.seconds_by_source()
     print(f"done in {report.seconds:.2f}s: {counts['run']} run, "
           f"{counts['cache']} cached, {counts['error']} failed, "
           f"{len(expansion.pruned)} pruned "
           f"({report.cells_per_second():.2f} cells/s)")
+    print(f"  cell time: run {by_source['run']:.2f}s, "
+          f"cache {by_source['cache']:.3f}s, error {by_source['error']:.2f}s")
     if args.out:
         payload = {
             "cells": [
@@ -472,6 +528,7 @@ def _command_sweep_grid(args) -> int:
             ],
             "jobs": report.jobs,
             "seconds": report.seconds,
+            "seconds_by_source": report.seconds_by_source(),
         }
         with open(args.out, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

@@ -31,6 +31,7 @@ pays ``max_r(compute_r)`` every single round.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List
 
 import numpy as np
@@ -118,7 +119,7 @@ class AsyncBSPExecution(ExecutionModel):
 
             metrics = self._apply_round(
                 trainer, server_params, snapshots, base_version, version, arrived, iterators,
-                round_time,
+                round_time, next_done,
             )
             epoch_metrics.append(metrics)
             version += 1
@@ -152,10 +153,12 @@ class AsyncBSPExecution(ExecutionModel):
         arrived: List[int],
         iterators,
         round_time: float,
+        next_done: np.ndarray,
     ) -> Dict[str, float]:
         n_workers = trainer.config.n_workers
         lr = trainer.schedule.lr_at(trainer.iteration)
         ages = np.array([version - base_version[r] for r in arrived], dtype=np.float64)
+        trace = trainer.obs.trace_enabled
 
         # Each arrived worker computed its gradient at the (possibly stale)
         # parameters it pulled, on its own next batch.
@@ -165,12 +168,23 @@ class AsyncBSPExecution(ExecutionModel):
         per_worker_indices = []
         selection_seconds = 0.0
         comm_records_before = len(trainer.backend.meter.records)
-        for r in arrived:
+        for pos, r in enumerate(arrived):
             batch = self._next_batch(trainer, iterators, r)
             if trainer.adversary.corrupts_data and trainer.adversary.is_byzantine(r):
                 batch = trainer.adversary.corrupt_batch(trainer.iteration, r, batch)
+            start = time.perf_counter()
             load_flat_parameters(trainer.model, snapshots[r])
             loss, grad = trainer.worker_gradient(r, batch)
+            if trace:
+                # Event-driven schedule: the batch *finished* at next_done[r]
+                # on the virtual clock, overlapping other workers' compute.
+                trainer.obs.tracer.record(
+                    "compute", "async_batch", trainer.iteration, r,
+                    float(next_done[r]) - trainer.speed_model.batch_seconds(r),
+                    float(next_done[r]),
+                    host=(start, time.perf_counter()),
+                    staleness=float(ages[pos]),
+                )
             losses.append(loss)
             acc = trainer.memories[r].accumulate(grad, lr)
             honest_accumulators.append(acc)
@@ -209,11 +223,46 @@ class AsyncBSPExecution(ExecutionModel):
         # where workers transmit union-sized value vectors), so each push
         # is priced as the worker's own indices plus union-sized values --
         # not just its own selection.  The pull returns dense parameters.
+        server = trainer.config.server_rank
+        server_label = "server" if server is None else int(server)
+        push_events = trainer.obs.events.has_subscribers("push")
+        pull_events = trainer.obs.events.has_subscribers("pull")
         for pos, r in enumerate(arrived):
             payload = int(per_worker_indices[pos].shape[0]) + int(union.shape[0])
             trainer.backend.push(r, payload, tag="ps-push")
             trainer.backend.pull(r, trainer.n_gradients, tag="ps-pull")
+            if trace:
+                trainer.obs.tracer.record(
+                    "push_pull", "push", trainer.iteration, r,
+                    round_time, round_time,
+                    src=int(r), dst=server_label, elements=payload,
+                )
+                trainer.obs.tracer.record(
+                    "push_pull", "pull", trainer.iteration, r,
+                    round_time, round_time,
+                    src=server_label, dst=int(r), elements=int(trainer.n_gradients),
+                )
+            if push_events:
+                trainer.obs.events.emit(
+                    "push",
+                    {"iteration": trainer.iteration, "worker": int(r),
+                     "version": version, "elements": payload},
+                )
+            if pull_events:
+                trainer.obs.events.emit(
+                    "pull",
+                    {"iteration": trainer.iteration, "worker": int(r),
+                     "version": version + 1, "elements": int(trainer.n_gradients)},
+                )
         communication_seconds = trainer._model_communication(comm_records_before)
+        if trace:
+            # The round's server traffic as one group-level span; its
+            # duration is what the server round adds past round_time.
+            trainer.obs.tracer.record(
+                "push_pull", "server_round", trainer.iteration, None,
+                round_time, round_time + communication_seconds,
+                arrived=len(arrived),
+            )
         # Push records carry payload on the sent side only, pulls on the
         # received side only, so summing both counts each server-link
         # payload exactly once.
@@ -255,5 +304,25 @@ class AsyncBSPExecution(ExecutionModel):
         trainer.logger.log_scalar("communication_seconds", it, communication_seconds)
         trainer.logger.log_scalar("communication_elements", it, float(comm_elements))
         trainer.logger.log_scalar("virtual_time", it, trainer.clock.now)
+        if trainer.obs.metrics_enabled:
+            obs_metrics = trainer.obs.metrics
+            obs_metrics.counter("rounds_total").inc()
+            obs_metrics.gauge("virtual_time_seconds").set(trainer.clock.now)
+            obs_metrics.histogram("arrivals_per_round").observe(float(len(arrived)))
+            staleness = obs_metrics.histogram("staleness_observed")
+            for age in ages:
+                staleness.observe(float(age))
+        if trainer.obs.events.has_subscribers("round_complete"):
+            trainer.obs.events.emit(
+                "round_complete",
+                {
+                    "iteration": it,
+                    "schedule": self.name,
+                    "version": version,
+                    "arrived": list(arrived),
+                    "metrics": dict(metrics),
+                    "virtual_time": trainer.clock.now,
+                },
+            )
         trainer.iteration += 1
         return metrics

@@ -18,6 +18,7 @@ parameters and pulls the center), priced with the cost model's
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -114,22 +115,62 @@ class ElasticAveragingExecution(ExecutionModel):
                 trainer.adversary.corrupt_batch(trainer.iteration, rank, batches[rank])
                 for rank in range(n_workers)
             ]
+        trace = trainer.obs.trace_enabled
+        v_round = trainer.clock.now
+        v_sync = v_round + trainer.speed_model.slowest_batch_seconds()
         for rank in range(n_workers):
+            start = time.perf_counter()
             load_flat_parameters(trainer.model, local_params[rank])
             loss, grad = trainer.worker_gradient(rank, batches[rank])
             losses[rank] = loss
             local_params[rank] = local_params[rank] - lr * grad
+            if trace:
+                trainer.obs.tracer.record(
+                    "compute", "local_step", trainer.iteration, rank,
+                    v_round, v_round + trainer.speed_model.batch_seconds(rank),
+                    host=(start, time.perf_counter()),
+                    sync=bool(sync_now),
+                )
 
         communication_seconds = 0.0
         comm_elements = 0.0
         spread = 0.0
         if sync_now:
+            server = trainer.config.server_rank
+            server_label = "server" if server is None else int(server)
+            push_events = trainer.obs.events.has_subscribers("push")
+            pull_events = trainer.obs.events.has_subscribers("pull")
             comm_records_before = len(trainer.backend.meter.records)
             diffs = [params - center for params in local_params]
             for rank in range(n_workers):
                 local_params[rank] = local_params[rank] - alpha * diffs[rank]
                 trainer.backend.push(rank, trainer.n_gradients, tag="elastic-push")
                 trainer.backend.pull(rank, trainer.n_gradients, tag="elastic-pull")
+                if trace:
+                    trainer.obs.tracer.record(
+                        "push_pull", "push", trainer.iteration, rank,
+                        v_sync, v_sync,
+                        src=int(rank), dst=server_label,
+                        elements=int(trainer.n_gradients),
+                    )
+                    trainer.obs.tracer.record(
+                        "push_pull", "pull", trainer.iteration, rank,
+                        v_sync, v_sync,
+                        src=server_label, dst=int(rank),
+                        elements=int(trainer.n_gradients),
+                    )
+                if push_events:
+                    trainer.obs.events.emit(
+                        "push",
+                        {"iteration": trainer.iteration, "worker": int(rank),
+                         "elements": int(trainer.n_gradients)},
+                    )
+                if pull_events:
+                    trainer.obs.events.emit(
+                        "pull",
+                        {"iteration": trainer.iteration, "worker": int(rank),
+                         "elements": int(trainer.n_gradients)},
+                    )
             center += (alpha / n_workers) * np.sum(diffs, axis=0)
             spread = float(np.mean([np.linalg.norm(d) for d in diffs]))
             communication_seconds = trainer._model_communication(comm_records_before)
@@ -139,6 +180,14 @@ class ElasticAveragingExecution(ExecutionModel):
                 record.total_sent + record.total_received
                 for record in trainer.backend.meter.records[comm_records_before:]
             )
+            if trace:
+                # Group-level span: the elastic exchange is what the
+                # lock-step round pays past the slowest worker's compute.
+                trainer.obs.tracer.record(
+                    "push_pull", "elastic_exchange", trainer.iteration, None,
+                    v_sync, v_sync + communication_seconds,
+                    elements=int(comm_elements),
+                )
 
         trainer.clock.advance_all(trainer.speed_model.slowest_batch_seconds() + communication_seconds)
         trainer.timing.add(
@@ -169,5 +218,22 @@ class ElasticAveragingExecution(ExecutionModel):
         trainer.logger.log_scalar("communication_seconds", it, communication_seconds)
         trainer.logger.log_scalar("communication_elements", it, float(comm_elements))
         trainer.logger.log_scalar("virtual_time", it, trainer.clock.now)
+        if trainer.obs.metrics_enabled:
+            obs_metrics = trainer.obs.metrics
+            obs_metrics.counter("iterations_total").inc()
+            if sync_now:
+                obs_metrics.counter("sync_rounds_total").inc()
+            obs_metrics.gauge("virtual_time_seconds").set(trainer.clock.now)
+        if trainer.obs.events.has_subscribers("round_complete"):
+            trainer.obs.events.emit(
+                "round_complete",
+                {
+                    "iteration": it,
+                    "schedule": self.name,
+                    "sync": bool(sync_now),
+                    "metrics": dict(metrics),
+                    "virtual_time": trainer.clock.now,
+                },
+            )
         trainer.iteration += 1
         return metrics

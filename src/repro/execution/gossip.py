@@ -28,6 +28,7 @@ in practice.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List
 
 import numpy as np
@@ -124,12 +125,22 @@ class GossipExecution(ExecutionModel):
                 trainer.adversary.corrupt_batch(trainer.iteration, rank, batches[rank])
                 for rank in range(n_workers)
             ]
+        trace = trainer.obs.trace_enabled
+        v_round = trainer.clock.now
+        v_sync = v_round + trainer.speed_model.slowest_batch_seconds()
         accumulators: List[np.ndarray] = []
         for rank in range(n_workers):
+            start = time.perf_counter()
             load_flat_parameters(trainer.model, local_params[rank])
             loss, grad = trainer.worker_gradient(rank, batches[rank])
             losses[rank] = loss
             accumulators.append(trainer.memories[rank].accumulate(grad, lr))
+            if trace:
+                trainer.obs.tracer.record(
+                    "compute", "local_gradient", trainer.iteration, rank,
+                    v_round, v_round + trainer.speed_model.batch_seconds(rank),
+                    host=(start, time.perf_counter()),
+                )
         honest_accumulators = accumulators
         if trainer.adversary.n_byzantine:
             accumulators = trainer.adversary.corrupt_accumulators(trainer.iteration, accumulators)
@@ -156,10 +167,30 @@ class GossipExecution(ExecutionModel):
             for neighbor in self._neighbors[rank]:
                 payload = 2 * int(selections[neighbor].shape[0])
                 trainer.backend.send(neighbor, rank, payload, tag="gossip")
-                inbound_seconds[rank] += trainer.point_to_point_seconds(
+                message_seconds = trainer.point_to_point_seconds(
                     payload, neighbor, rank
                 )
+                if trace:
+                    # One span per neighbour message on the receiver's row,
+                    # serialised after its earlier inbound messages (the
+                    # pricing rule above drains each inbox in order).
+                    trainer.obs.tracer.record(
+                        "collective", "gossip_message", trainer.iteration, rank,
+                        v_sync + inbound_seconds[rank],
+                        v_sync + inbound_seconds[rank] + message_seconds,
+                        src=int(neighbor), dst=int(rank), elements=payload,
+                    )
+                inbound_seconds[rank] += message_seconds
         communication_seconds = float(inbound_seconds.max()) if n_workers > 1 else 0.0
+        if trace:
+            # The group-level round span: the busiest worker's inbox drain
+            # is what the lock-step round waits for, so this span's duration
+            # is exactly the round's virtual communication cost (it
+            # dominates the per-message spans in the reconciliation).
+            trainer.obs.tracer.record(
+                "collective", "gossip_round", trainer.iteration, None,
+                v_sync, v_sync + communication_seconds,
+            )
         comm_elements = sum(
             record.total_sent
             for record in trainer.backend.meter.records[comm_records_before:]
@@ -212,5 +243,21 @@ class GossipExecution(ExecutionModel):
         trainer.logger.log_scalar("communication_seconds", it, communication_seconds)
         trainer.logger.log_scalar("communication_elements", it, float(comm_elements))
         trainer.logger.log_scalar("virtual_time", it, trainer.clock.now)
+        if trainer.obs.metrics_enabled:
+            obs_metrics = trainer.obs.metrics
+            obs_metrics.counter("iterations_total").inc()
+            obs_metrics.gauge("virtual_time_seconds").set(trainer.clock.now)
+            obs_metrics.histogram("communication_seconds").observe(communication_seconds)
+            obs_metrics.histogram("communication_elements").observe(float(comm_elements))
+        if trainer.obs.events.has_subscribers("round_complete"):
+            trainer.obs.events.emit(
+                "round_complete",
+                {
+                    "iteration": it,
+                    "schedule": self.name,
+                    "metrics": dict(metrics),
+                    "virtual_time": trainer.clock.now,
+                },
+            )
         trainer.iteration += 1
         return metrics

@@ -25,6 +25,7 @@ to each local step.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List
 
 import numpy as np
@@ -94,11 +95,21 @@ class LocalSGDExecution(ExecutionModel):
                 for rank in range(n_workers)
             ]
         # Dense local step on every worker's own parameter copy.
+        trace = trainer.obs.trace_enabled
+        v_round = trainer.clock.now
         for rank in range(n_workers):
+            start = time.perf_counter()
             load_flat_parameters(trainer.model, local_params[rank])
             loss, grad = trainer.worker_gradient(rank, batches[rank])
             losses[rank] = loss
             local_params[rank] = local_params[rank] - lr * grad
+            if trace:
+                trainer.obs.tracer.record(
+                    "compute", "local_step", trainer.iteration, rank,
+                    v_round, v_round + trainer.speed_model.batch_seconds(rank),
+                    host=(start, time.perf_counter()),
+                    sync=bool(sync_now),
+                )
 
         communication_seconds = 0.0
         density = 0.0
@@ -155,5 +166,22 @@ class LocalSGDExecution(ExecutionModel):
         trainer.logger.log_scalar("communication_elements", it, comm_elements)
         trainer.logger.log_scalar("partition_seconds", it, partition_seconds)
         trainer.logger.log_scalar("virtual_time", it, trainer.clock.now)
+        if trainer.obs.metrics_enabled:
+            obs_metrics = trainer.obs.metrics
+            obs_metrics.counter("iterations_total").inc()
+            if sync_now:
+                obs_metrics.counter("sync_rounds_total").inc()
+            obs_metrics.gauge("virtual_time_seconds").set(trainer.clock.now)
+        if trainer.obs.events.has_subscribers("round_complete"):
+            trainer.obs.events.emit(
+                "round_complete",
+                {
+                    "iteration": it,
+                    "schedule": self.name,
+                    "sync": bool(sync_now),
+                    "metrics": dict(metrics),
+                    "virtual_time": trainer.clock.now,
+                },
+            )
         trainer.iteration += 1
         return metrics

@@ -1,0 +1,46 @@
+"""Observability configuration: what a run records about itself.
+
+Everything is **off by default**: a spec without an observability section
+(or with every flag false) builds no-op tracer/metrics objects, so the
+instrumented hot paths cost nothing measurable (guarded by
+``scripts/bench_observability.py``, which asserts < 3% disabled overhead)
+and training results are bit-identical with observability on or off --
+the tracer, the metrics registry and the event bus only *read* run state.
+
+The section travels inside :class:`~repro.api.RunSpec` (``observability``)
+and :class:`~repro.training.trainer.TrainingConfig`, but is deliberately
+excluded from the sweep cache key (:func:`repro.sweep.cache.spec_key`):
+two specs that differ only in what they observe describe the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ObservabilitySpec"]
+
+
+@dataclass
+class ObservabilitySpec:
+    """Flags controlling the run's observability layer.
+
+    ``trace``
+        Record per-worker, per-iteration spans (compute / sparsify /
+        encode / collective / push_pull / aggregate / eval), stamped with
+        both host time and :class:`~repro.execution.straggler.VirtualClock`
+        simulated time, exportable as Chrome trace-event JSON
+        (``repro train --trace out.json``; open in Perfetto or
+        chrome://tracing).
+    ``metrics``
+        Record counters / gauges / histograms (with label sets) from the
+        trainer hot path, the execution schedules and the topology router,
+        snapshotted into :meth:`~repro.api.RunResult.to_dict`.
+    """
+
+    trace: bool = False
+    metrics: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any recording is active (the event bus is always live)."""
+        return bool(self.trace or self.metrics)

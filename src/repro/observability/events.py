@@ -1,0 +1,70 @@
+"""Run-time event bus: before/after-aggregation, push/pull, round hooks.
+
+Controllers and tests subscribe to named hook points the trainer and the
+execution schedules fire as a run progresses -- the same surface blades
+exposes via its ``omniscient_callbacks`` ("before aggregation or gossip").
+Unlike the tracer and the metrics registry, the bus is live on **every**
+run, observability flags or not: it holds no state and an ``emit`` with no
+subscribers is a single dict lookup, so there is nothing to turn off.
+
+Handlers receive one payload dict.  They are observers: the payload may
+hold live arrays (the contribution matrix, the aggregated update) for
+zero-copy inspection, and mutating them would corrupt the run -- a future
+control-loop layer will get an explicit mutation contract instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["EVENTS", "EventBus"]
+
+#: The hook points fired by the trainer and the execution schedules.
+EVENTS = (
+    #: Fired with the contribution matrix and index union, before the
+    #: aggregator combines them.
+    "before_aggregation",
+    #: Fired with the aggregated vector, before the model update applies.
+    "after_aggregation",
+    #: One worker pushed to the parameter server (async_bsp / elastic).
+    "push",
+    #: One worker pulled from the parameter server (async_bsp / elastic).
+    "pull",
+    #: One schedule round (iteration) finished, with its metrics dict.
+    "round_complete",
+)
+
+Handler = Callable[[Dict[str, object]], None]
+
+
+class EventBus:
+    """Subscribe/emit over the fixed :data:`EVENTS` vocabulary."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[Handler]] = {}
+
+    def subscribe(self, event: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for ``event``; returns an unsubscribe thunk."""
+        if event not in EVENTS:
+            raise ValueError(f"unknown event {event!r}; available: {list(EVENTS)}")
+        handlers = self._handlers.setdefault(event, [])
+        handlers.append(handler)
+
+        def unsubscribe() -> None:
+            try:
+                handlers.remove(handler)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def has_subscribers(self, event: str) -> bool:
+        return bool(self._handlers.get(event))
+
+    def emit(self, event: str, payload: Dict[str, object]) -> None:
+        """Deliver ``payload`` to every subscriber of ``event`` in order."""
+        handlers = self._handlers.get(event)
+        if not handlers:
+            return
+        for handler in list(handlers):
+            handler(payload)

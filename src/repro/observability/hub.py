@@ -1,0 +1,59 @@
+"""The per-run observability hub: tracer + metrics + event bus.
+
+One :class:`Observability` instance is attached to every
+:class:`~repro.training.trainer.DistributedTrainer` (``trainer.obs``).
+The constructor maps the configured :class:`ObservabilitySpec` flags to
+real or null collaborators, so instrumented code never branches on
+configuration -- it calls ``obs.tracer.record(...)`` /
+``obs.metrics.counter(...).inc()`` unconditionally and the disabled
+singletons absorb the calls.  Hot paths that would *compute* something
+just to record it (idle lists, label dicts) guard on ``obs.trace_enabled``
+/ ``obs.metrics_enabled`` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.observability.config import ObservabilitySpec
+from repro.observability.events import EventBus
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+from repro.observability.spans import NULL_TRACER, SpanTracer
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Everything one run records about itself (see module docstring)."""
+
+    def __init__(
+        self,
+        spec: Optional[ObservabilitySpec] = None,
+        n_workers: int = 1,
+        run_name: str = "run",
+    ) -> None:
+        self.spec = spec if spec is not None else ObservabilitySpec()
+        self.trace_enabled = bool(self.spec.trace)
+        self.metrics_enabled = bool(self.spec.metrics)
+        self.enabled = self.trace_enabled or self.metrics_enabled
+        self.tracer = (
+            SpanTracer(n_workers=n_workers, run_name=run_name)
+            if self.trace_enabled
+            else NULL_TRACER
+        )
+        self.metrics = MetricsRegistry() if self.metrics_enabled else NULL_METRICS
+        # The bus is per-run and always live: subscriptions work whether or
+        # not anything is being recorded, and emits without subscribers are
+        # a dict lookup.
+        self.events = EventBus()
+
+    def snapshot(self) -> Optional[dict]:
+        """The run's serialisable observability payload (None if disabled)."""
+        if not self.enabled:
+            return None
+        out: dict = {}
+        if self.trace_enabled:
+            out["trace"] = self.tracer.to_chrome_trace()
+        if self.metrics_enabled:
+            out["metrics"] = self.metrics.snapshot()
+        return out

@@ -1,0 +1,201 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+Instruments built through :class:`MetricsRegistry` are keyed by
+``(name, sorted label set)``, Prometheus-style (``comm_hops{op=push}``),
+and snapshot into plain dicts for :meth:`~repro.api.RunResult.to_dict`.
+Histograms keep their raw observations in a
+:class:`~repro.utils.logging.ScalarSeries` and summarise through its
+``summary()`` (count/mean/min/max/p50/p95), so run metrics and logged
+series report percentiles identically.
+
+When observability is disabled the registry is replaced by
+:data:`NULL_METRICS`, whose instruments are shared no-op singletons --
+hot-path ``inc``/``observe`` calls then cost one attribute lookup and an
+empty method body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.utils.logging import ScalarSeries
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render(name: str, label_key: Tuple[Tuple[str, str], ...]) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        self.value += float(amount)
+
+
+class Gauge:
+    """A value that can move in both directions (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += float(amount)
+
+
+class Histogram:
+    """A distribution of observations, summarised via ``ScalarSeries``."""
+
+    __slots__ = ("name", "labels", "series")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.series = ScalarSeries(name=name)
+
+    def observe(self, value: float) -> None:
+        self.series.append(len(self.series), float(value))
+
+    def summary(self) -> Dict[str, float]:
+        return self.series.summary()
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> Dict[str, float]:
+        return ScalarSeries(name="null").summary()
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled counters, gauges and histograms."""
+
+    #: Real registries record; the null subclass reports ``False`` so hot
+    #: paths can skip building label dicts or derived values entirely.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, Tuple], Counter] = {}
+        self._gauges: Dict[Tuple[str, Tuple], Gauge] = {}
+        self._histograms: Dict[Tuple[str, Tuple], Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        if key not in self._counters:
+            self._counters[key] = Counter(name, key[1])
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        if key not in self._gauges:
+            self._gauges[key] = Gauge(name, key[1])
+        return self._gauges[key]
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(name, key[1])
+        return self._histograms[key]
+
+    # ------------------------------------------------------------------ #
+    def instruments(self) -> Iterable[str]:
+        """Rendered names of every registered instrument, sorted."""
+        names = []
+        for store in (self._counters, self._gauges, self._histograms):
+            names.extend(_render(name, labels) for name, labels in store)
+        return sorted(names)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view of every instrument, for JSON serialisation."""
+        return {
+            "counters": {
+                _render(name, labels): counter.value
+                for (name, labels), counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render(name, labels): gauge.value
+                for (name, labels), gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render(name, labels): histogram.summary()
+                for (name, labels), histogram in sorted(self._histograms.items())
+            },
+        }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled registry: every instrument is a shared no-op singleton."""
+
+    enabled = False
+
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels) -> Counter:  # type: ignore[override]
+        return self._COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels) -> Gauge:  # type: ignore[override]
+        return self._GAUGE  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels) -> Histogram:  # type: ignore[override]
+        return self._HISTOGRAM  # type: ignore[return-value]
+
+
+#: Shared disabled registry (stateless, so one instance serves every run).
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,241 @@
+"""Virtual-clock span tracing with Chrome trace-event export.
+
+A :class:`Span` is one named interval of one worker (or of the whole
+group) in one iteration, stamped on **two clocks**:
+
+- the :class:`~repro.execution.straggler.VirtualClock` simulated time the
+  execution models price their schedules on (``v_start``/``v_end``), and
+- host wall time (``h_start``/``h_end``, ``time.perf_counter`` stamps),
+  when the instrumented region measured itself.
+
+Phases follow the trainer's pipeline: ``compute``, ``sparsify``,
+``encode`` (the sparsifier's coordinate/partition work), ``collective``,
+``push_pull``, ``aggregate``, ``eval``.  Only ``compute``, ``collective``
+and ``push_pull`` carry virtual *durations* -- they are the phases the
+virtual clock actually advances through -- so for lock-step schedules the
+per-iteration maxima of those phases sum exactly to the run's
+``estimated_wallclock`` (:meth:`SpanTracer.simulated_phase_totals`, which
+``scripts/bench_observability.py`` asserts).  Host-only phases appear as
+virtual instants but real host slices.
+
+:meth:`SpanTracer.to_chrome_trace` emits the Chrome trace-event JSON
+format, so ``repro train --trace out.json`` produces a file that opens
+directly in Perfetto (https://ui.perfetto.dev) or chrome://tracing: one
+process row per clock ("virtual clock" pid 1, "host clock" pid 2), one
+thread row per worker rank plus a group row.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["PHASES", "Span", "SpanTracer", "NullSpanTracer", "NULL_TRACER"]
+
+#: The trainer pipeline phases, in schedule order.
+PHASES = (
+    "compute",
+    "sparsify",
+    "encode",
+    "collective",
+    "push_pull",
+    "aggregate",
+    "eval",
+)
+
+#: Chrome trace-event pids of the two timelines.
+_VIRTUAL_PID = 1
+_HOST_PID = 2
+
+#: tid used for group-level (not per-rank) spans.
+GROUP_TID = 0
+
+
+@dataclass
+class Span:
+    """One recorded interval (see module docstring for the two clocks)."""
+
+    phase: str
+    name: str
+    iteration: int
+    #: Worker rank, or ``None`` for group-level spans (collectives, eval).
+    worker: Optional[int]
+    #: Virtual-clock interval (seconds); instants have ``v_end == v_start``.
+    v_start: float
+    v_end: float
+    #: Host ``perf_counter`` interval, when the region measured itself.
+    h_start: Optional[float] = None
+    h_end: Optional[float] = None
+    #: Free-form annotations (e.g. ``src``/``dst`` of a comm span).
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def v_duration(self) -> float:
+        return self.v_end - self.v_start
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "phase": self.phase,
+            "name": self.name,
+            "iteration": self.iteration,
+            "worker": self.worker,
+            "v_start": self.v_start,
+            "v_end": self.v_end,
+        }
+        if self.h_start is not None:
+            out["h_start"] = self.h_start
+            out["h_end"] = self.h_end
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+
+class SpanTracer:
+    """Collects spans for one run and exports them as a Chrome trace."""
+
+    enabled = True
+
+    def __init__(self, n_workers: int = 1, run_name: str = "run") -> None:
+        self.n_workers = int(n_workers)
+        self.run_name = run_name
+        self.spans: List[Span] = []
+        #: Host epoch the trace's host timeline is measured from.
+        self.host_epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        phase: str,
+        name: str,
+        iteration: int,
+        worker: Optional[int],
+        v_start: float,
+        v_end: float,
+        host: Optional[Tuple[float, float]] = None,
+        **args,
+    ) -> Span:
+        """Append one span; ``host`` is an optional perf_counter pair."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown span phase {phase!r}; available: {list(PHASES)}")
+        span = Span(
+            phase=phase,
+            name=name,
+            iteration=int(iteration),
+            worker=worker,
+            v_start=float(v_start),
+            v_end=float(v_end),
+            h_start=None if host is None else float(host[0]),
+            h_end=None if host is None else float(host[1]),
+            args=args,
+        )
+        self.spans.append(span)
+        return span
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------ #
+    def simulated_phase_totals(self) -> Dict[str, float]:
+        """Per-phase simulated-time totals along the schedule's critical path.
+
+        For each ``(phase, iteration)`` the *maximum* span duration is taken
+        (in a lock-step round every worker's compute overlaps; the slowest
+        one is what the group waits for), then summed over iterations.  For
+        the lock-step schedules (synchronous, local_sgd, gossip) the totals
+        satisfy ``compute + collective + push_pull == estimated_wallclock``
+        exactly; event-driven schedules overlap compute with communication,
+        so their totals bound the makespan instead.
+        """
+        widest: Dict[Tuple[str, int], float] = defaultdict(float)
+        for span in self.spans:
+            key = (span.phase, span.iteration)
+            widest[key] = max(widest[key], span.v_duration)
+        totals = {phase: 0.0 for phase in PHASES}
+        for (phase, _), duration in widest.items():
+            totals[phase] += duration
+        return totals
+
+    # ------------------------------------------------------------------ #
+    def to_chrome_trace(self, **metadata) -> Dict[str, object]:
+        """The run as a Chrome trace-event JSON object.
+
+        Every span becomes a complete ("X") event on the virtual-clock
+        timeline (pid 1); spans with host stamps additionally appear on the
+        host timeline (pid 2).  ``ts``/``dur`` are microseconds, per the
+        format.  Extra ``metadata`` keys land in ``otherData`` together
+        with the simulated per-phase totals, so a trace file is
+        self-describing about its reconciliation.
+        """
+        events: List[Dict[str, object]] = []
+        for pid, label in ((_VIRTUAL_PID, "virtual clock (simulated)"),
+                           (_HOST_PID, "host clock")):
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"{self.run_name}: {label}"},
+            })
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": GROUP_TID,
+                "args": {"name": "group"},
+            })
+            for rank in range(self.n_workers):
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": rank + 1, "args": {"name": f"worker {rank}"},
+                })
+
+        for span in self.spans:
+            tid = GROUP_TID if span.worker is None else int(span.worker) + 1
+            args: Dict[str, object] = {"iteration": span.iteration}
+            args.update(span.args)
+            events.append({
+                "name": span.name,
+                "cat": span.phase,
+                "ph": "X",
+                "pid": _VIRTUAL_PID,
+                "tid": tid,
+                "ts": span.v_start * 1e6,
+                "dur": span.v_duration * 1e6,
+                "args": args,
+            })
+            if span.h_start is not None and span.h_end is not None:
+                events.append({
+                    "name": span.name,
+                    "cat": span.phase,
+                    "ph": "X",
+                    "pid": _HOST_PID,
+                    "tid": tid,
+                    "ts": (span.h_start - self.host_epoch) * 1e6,
+                    "dur": (span.h_end - span.h_start) * 1e6,
+                    "args": args,
+                })
+
+        other: Dict[str, object] = {
+            "run_name": self.run_name,
+            "n_workers": self.n_workers,
+            "n_spans": len(self.spans),
+            "simulated_phase_totals": self.simulated_phase_totals(),
+        }
+        other.update(metadata)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": other,
+        }
+
+
+class NullSpanTracer(SpanTracer):
+    """The disabled tracer: ``record`` is a no-op, exports are empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(n_workers=0, run_name="disabled")
+
+    def record(self, *args, **kwargs) -> Optional[Span]:  # type: ignore[override]
+        return None
+
+
+#: Shared disabled tracer (stateless, so one instance serves every run).
+NULL_TRACER = NullSpanTracer()

@@ -56,10 +56,17 @@ def spec_key(
     the same key.  Callers that already hold a resolved spec (``resolve()``
     is canonical and idempotent) pass ``assume_resolved=True`` to skip the
     redundant re-resolution.
+
+    Observability flags are *excluded* from the key: they never change what
+    a run computes, so a traced run and an untraced run of the same spec
+    share one cache entry (and the key of every spec cached before the
+    observability section existed stays valid).
     """
     resolved = spec if assume_resolved else spec.resolve()
+    spec_dict = resolved.to_dict()
+    spec_dict.pop("observability", None)
     payload = json.dumps(
-        {"cache_version": int(cache_version), "spec": resolved.to_dict()},
+        {"cache_version": int(cache_version), "spec": spec_dict},
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -120,10 +127,15 @@ class ResultCache:
     def put(self, spec: RunSpec, result: RunResult, key: Optional[str] = None) -> Path:
         """Store a result summary under its spec's key (atomic write)."""
         path = self._path(spec, key)
+        result_dict = result.to_dict()
+        # Trace/metrics payloads are per-execution artifacts (host
+        # timestamps differ run to run) and can dwarf the summary itself;
+        # the cache stores only what a rehydrated result must answer.
+        result_dict.pop("observability", None)
         payload = {
             "cache_version": self.cache_version,
             "key": path.stem,
-            "result": result.to_dict(),
+            "result": result_dict,
         }
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")

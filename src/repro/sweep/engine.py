@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.api.result import RunResult
 from repro.api.session import Session
 from repro.api.spec import RunSpec
+from repro.observability import MetricsRegistry
 from repro.sweep.cache import ResultCache
 
 __all__ = ["CellOutcome", "SweepReport", "run_sweep"]
@@ -59,7 +60,8 @@ class CellOutcome:
     source: str = "run"
     #: Error message of a failed cell.
     error: Optional[str] = None
-    #: Wall-clock seconds spent executing the cell (0 for cache hits).
+    #: Wall-clock seconds the cell took to settle: execution time for runs
+    #: and errors, cache lookup time for hits.
     seconds: float = 0.0
     #: The cell's result-cache key (set only when a cache is in use).
     cache_key: Optional[str] = None
@@ -96,6 +98,18 @@ class SweepReport:
 
     def cells_per_second(self) -> float:
         return len(self.outcomes) / self.seconds if self.seconds > 0 else 0.0
+
+    def seconds_by_source(self) -> Dict[str, float]:
+        """Summed per-cell settle time, broken down by outcome source.
+
+        Keys mirror :meth:`counts` (``run`` / ``cache`` / ``error``).  Under
+        parallel dispatch the per-source sums are worker-time and can exceed
+        the sweep's wall-clock ``seconds``.
+        """
+        out = {"run": 0.0, "cache": 0.0, "error": 0.0}
+        for outcome in self.outcomes:
+            out[outcome.source] = out.get(outcome.source, 0.0) + outcome.seconds
+        return out
 
 
 # ---------------------------------------------------------------------- #
@@ -135,6 +149,7 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     session: Optional[Session] = None,
     progress: Optional[Callable[[CellOutcome], None]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SweepReport:
     """Execute every spec, serving cache hits and dispatching the misses.
 
@@ -157,6 +172,11 @@ def run_sweep(
     progress:
         Callback invoked with each :class:`CellOutcome` as it settles
         (cache hits first, then runs in completion order).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry` the engine
+        instruments: cache hit/miss counters, per-cell settle-latency
+        histograms labelled by source, and (under parallel dispatch) a
+        queue-wait histogram of time cells spent submitted but not running.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -172,22 +192,37 @@ def run_sweep(
     misses: List[int] = []
     for outcome in report.outcomes:
         hit = None
+        lookup_start = time.perf_counter()
         if cache is not None:
             outcome.cache_key = cache.key_for(outcome.spec, assume_resolved=True)
             hit = cache.get(outcome.spec, key=outcome.cache_key)
         if hit is not None:
             outcome.result = hit
             outcome.source = "cache"
+            outcome.seconds = time.perf_counter() - lookup_start
+            if metrics is not None:
+                metrics.counter("sweep_cache_total", outcome="hit").inc()
+                metrics.histogram("sweep_cell_seconds", source="cache").observe(
+                    outcome.seconds
+                )
             if progress:
                 progress(outcome)
         else:
+            if metrics is not None and cache is not None:
+                metrics.counter("sweep_cache_total", outcome="miss").inc()
             misses.append(outcome.index)
 
     if misses:
         if jobs == 1:
-            _run_serial(report, misses, session=session, cache=cache, progress=progress)
+            _run_serial(
+                report, misses, session=session, cache=cache, progress=progress,
+                metrics=metrics,
+            )
         else:
-            _run_parallel(report, misses, jobs=jobs, cache=cache, progress=progress)
+            _run_parallel(
+                report, misses, jobs=jobs, cache=cache, progress=progress,
+                metrics=metrics,
+            )
 
     report.seconds = time.perf_counter() - start
     return report
@@ -201,6 +236,7 @@ def _settle(
     seconds: float,
     cache: Optional[ResultCache],
     progress: Optional[Callable[[CellOutcome], None]],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> None:
     """Record one executed cell's outcome (shared by both dispatch paths)."""
     outcome = report.outcomes[index]
@@ -214,6 +250,10 @@ def _settle(
     else:
         outcome.error = str(payload)
         outcome.source = "error"
+    if metrics is not None:
+        metrics.histogram("sweep_cell_seconds", source=outcome.source).observe(
+            outcome.seconds
+        )
     if progress:
         progress(outcome)
 
@@ -225,6 +265,7 @@ def _run_serial(
     session: Optional[Session],
     cache: Optional[ResultCache],
     progress: Optional[Callable[[CellOutcome], None]],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> None:
     session = session if session is not None else Session()
     for index in misses:
@@ -232,10 +273,10 @@ def _run_serial(
         cell_start = time.perf_counter()
         try:
             result = session.run(spec)
-            _settle(report, index, "ok", result, time.perf_counter() - cell_start, cache, progress)
+            _settle(report, index, "ok", result, time.perf_counter() - cell_start, cache, progress, metrics)
         except Exception as exc:  # per-cell failure isolation
             message = f"{type(exc).__name__}: {exc}"
-            _settle(report, index, "error", message, time.perf_counter() - cell_start, cache, progress)
+            _settle(report, index, "error", message, time.perf_counter() - cell_start, cache, progress, metrics)
 
 
 def _run_parallel(
@@ -245,9 +286,11 @@ def _run_parallel(
     jobs: int,
     cache: Optional[ResultCache],
     progress: Optional[Callable[[CellOutcome], None]],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> None:
     max_workers = min(int(jobs), len(misses))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        submitted_at = time.perf_counter()
         pending = {
             pool.submit(_run_cell, report.outcomes[index].spec.to_dict()): index
             for index in misses
@@ -260,4 +303,11 @@ def _run_parallel(
                     status, payload, seconds = future.result()
                 except Exception as exc:  # worker died (OOM, signal, ...)
                     status, payload, seconds = "error", f"{type(exc).__name__}: {exc}", 0.0
-                _settle(report, index, status, payload, seconds, cache, progress)
+                if metrics is not None:
+                    # Time the cell spent submitted but not executing:
+                    # settle time minus its own run time.
+                    queue_wait = max(
+                        0.0, (time.perf_counter() - submitted_at) - seconds
+                    )
+                    metrics.histogram("sweep_queue_wait_seconds").observe(queue_wait)
+                _settle(report, index, status, payload, seconds, cache, progress, metrics)

@@ -64,6 +64,7 @@ from repro.data.dataloader import DataLoader
 from repro.data.partition import shard_dataset
 from repro.execution.base import ExecutionModel
 from repro.execution.straggler import STRAGGLER_PROFILES, VirtualClock, WorkerSpeedModel
+from repro.observability import Observability, ObservabilitySpec
 from repro.sparsifiers.base import GradientLayout, Sparsifier
 from repro.training.error_feedback import ErrorFeedbackMemory
 from repro.training.lr_schedule import ConstantLR, LRSchedule
@@ -132,6 +133,10 @@ class TrainingConfig:
     #: ``path_hops(rank, server_rank)`` -- and refused by server-less
     #: schedules.
     server_rank: Optional[int] = None
+    #: Observability flags (span tracing, metrics).  ``None`` means fully
+    #: disabled; recording never perturbs training (results are
+    #: bit-identical with tracing on or off).
+    observability: Optional[ObservabilitySpec] = None
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
@@ -291,6 +296,13 @@ class DistributedTrainer:
         )
 
         name = run_name or f"{task.name}-{sparsifier.name}-w{config.n_workers}-d{sparsifier.density}"
+        # Observability hub: span tracer + metrics registry + event bus.
+        # Disabled flags map to shared no-op collaborators, so the
+        # instrumentation below records nothing and costs almost nothing
+        # unless the run asked for it.
+        self.obs = Observability(
+            config.observability, n_workers=config.n_workers, run_name=name
+        )
         self.logger = RunLogger(run_name=name)
         self.logger.log_metadata(
             task=task.name,
@@ -358,10 +370,21 @@ class DistributedTrainer:
         update.  Returns the per-step measurements the loggers need.
         """
         n_workers = self.config.n_workers
+        trace = self.obs.trace_enabled
+        # All exchange phases happen at the round's synchronization point
+        # on the virtual clock: compute has finished (the slowest worker
+        # sets the pace), the collective is about to start.
+        v_sync = self.clock.now + self.speed_model.slowest_batch_seconds()
 
         # 3. Optional coordination (CLT-k leader selection, DEFT allocation).
         comm_records_before = len(self.backend.meter.records)
+        encode_start = time.perf_counter()
         self.sparsifier.coordinate(self.iteration, accumulators, self.backend)
+        if trace:
+            self.obs.tracer.record(
+                "encode", "coordinate", self.iteration, None, v_sync, v_sync,
+                host=(encode_start, time.perf_counter()),
+            )
 
         # 4. Per-worker selection.
         selection_times = np.zeros(n_workers)
@@ -370,7 +393,14 @@ class DistributedTrainer:
         per_worker_indices: List[np.ndarray] = []
         per_worker_k = np.zeros(n_workers, dtype=np.int64)
         for rank in range(n_workers):
+            select_start = time.perf_counter()
             result = self.sparsifier.select(self.iteration, rank, accumulators[rank])
+            if trace:
+                self.obs.tracer.record(
+                    "sparsify", "select", self.iteration, rank, v_sync, v_sync,
+                    host=(select_start, time.perf_counter()),
+                    k=int(result.k_selected),
+                )
             per_worker_indices.append(np.asarray(result.indices, dtype=np.int64))
             per_worker_k[rank] = result.k_selected
             selection_times[rank] = result.selection_seconds
@@ -392,12 +422,38 @@ class DistributedTrainer:
         # (gathering into it instead of re-copying per step), and the
         # metered row collectives skip the simulation's per-rank copies.
         matrix = self._contributions(accumulators, global_indices)
+        if self.obs.events.has_subscribers("before_aggregation"):
+            self.obs.events.emit(
+                "before_aggregation",
+                {
+                    "iteration": self.iteration,
+                    "indices": global_indices,
+                    "contributions": matrix,
+                },
+            )
+        aggregate_start = time.perf_counter()
         if self.aggregator.requires_individual_contributions:
             matrix = self.backend.allgather_rows(matrix, tag="values")
             aggregated = self.aggregator.aggregate(matrix, indices=global_indices)
         else:
             reduced = self.backend.allreduce_rows(matrix, tag="values")
             aggregated = self.aggregator.aggregate_reduced(reduced)
+        if trace:
+            self.obs.tracer.record(
+                "aggregate", self.aggregator.name, self.iteration, None,
+                v_sync, v_sync,
+                host=(aggregate_start, time.perf_counter()),
+                union=int(global_indices.shape[0]),
+            )
+        if self.obs.events.has_subscribers("after_aggregation"):
+            self.obs.events.emit(
+                "after_aggregation",
+                {
+                    "iteration": self.iteration,
+                    "indices": global_indices,
+                    "aggregated": aggregated,
+                },
+            )
         update = self._update_buffer
         update[global_indices] = aggregated
         self.optimizer.apply_update(update)
@@ -412,6 +468,23 @@ class DistributedTrainer:
         comm_elements = sum(
             record.total_sent for record in self.backend.meter.records[comm_records_before:]
         )
+        if trace:
+            # One group-level collective span covering this exchange's
+            # modelled communication; its duration is exactly what the
+            # lock-step schedules add to the virtual clock on top of
+            # compute, so the trace reconciles with estimated_wallclock.
+            self.obs.tracer.record(
+                "collective", "sparse_exchange", self.iteration, None,
+                v_sync, v_sync + communication_seconds,
+                elements=int(comm_elements),
+            )
+        if self.obs.metrics_enabled:
+            metrics = self.obs.metrics
+            metrics.counter("exchanges_total").inc()
+            metrics.histogram("union_size").observe(float(global_indices.shape[0]))
+            metrics.histogram("selection_seconds").observe(float(selection_times.max()))
+            metrics.histogram("communication_seconds").observe(communication_seconds)
+            metrics.histogram("communication_elements").observe(float(comm_elements))
         return {
             "global_indices": global_indices,
             "per_worker_k": per_worker_k,
@@ -448,6 +521,8 @@ class DistributedTrainer:
         forward_backward_times = np.zeros(n_workers)
         losses = np.zeros(n_workers)
         accumulators: List[np.ndarray] = []
+        trace = self.obs.trace_enabled
+        v_round = self.clock.now
 
         # 1-2. Local gradients and error-feedback accumulation.
         if self.adversary.corrupts_data:
@@ -464,6 +539,12 @@ class DistributedTrainer:
             losses[rank] = loss.item()
             grad_flat = flatten_gradients(self.model)
             accumulators.append(self.memories[rank].accumulate(grad_flat, lr))
+            if trace:
+                self.obs.tracer.record(
+                    "compute", "forward_backward", self.iteration, rank,
+                    v_round, v_round + self.speed_model.batch_seconds(rank),
+                    host=(start, start + forward_backward_times[rank]),
+                )
         self.model.zero_grad()
 
         # Gradient attacks corrupt the Byzantine accumulators before the
@@ -514,6 +595,26 @@ class DistributedTrainer:
         self.logger.log_scalar("communication_elements", self.iteration, float(exchange["comm_elements"]))
         self.logger.log_scalar("partition_seconds", self.iteration, timing.partition)
         self.logger.log_scalar("virtual_time", self.iteration, self.clock.now)
+        if self.obs.metrics_enabled:
+            obs_metrics = self.obs.metrics
+            obs_metrics.counter("iterations_total").inc()
+            obs_metrics.gauge("virtual_time_seconds").set(self.clock.now)
+            # Straggler idle time: in a lock-step round every worker waits
+            # for the slowest one's compute.
+            slowest = self.speed_model.slowest_batch_seconds()
+            idle = obs_metrics.histogram("worker_idle_seconds")
+            for rank in range(n_workers):
+                idle.observe(slowest - self.speed_model.batch_seconds(rank))
+        if self.obs.events.has_subscribers("round_complete"):
+            self.obs.events.emit(
+                "round_complete",
+                {
+                    "iteration": self.iteration,
+                    "schedule": "lock_step",
+                    "metrics": dict(metrics),
+                    "virtual_time": self.clock.now,
+                },
+            )
         self.iteration += 1
         return metrics
 
@@ -532,6 +633,8 @@ class DistributedTrainer:
             if self.topology is not None and src is not None and dst is not None
             else 1.0
         )
+        if self.obs.metrics_enabled:
+            self.obs.metrics.histogram("comm_hops", op="send").observe(hops)
         return self.cost_model.point_to_point_cost(payload, hops=hops).total
 
     def _model_communication(self, records_before: int) -> float:
@@ -560,11 +663,15 @@ class DistributedTrainer:
                 cost = self.cost_model.allgather_cost(n, record.max_sent)
             elif record.op == "push":
                 hops = self._server_hops[record.src] if record.src is not None else 1.0
+                if self.obs.metrics_enabled:
+                    self.obs.metrics.histogram("comm_hops", op="push").observe(hops)
                 seconds += self.cost_model.push_cost(record.max_sent, hops=hops).total
                 continue
             elif record.op == "pull":
                 payload = max(record.received_per_rank) if record.received_per_rank else 0
                 hops = self._server_hops[record.dst] if record.dst is not None else 1.0
+                if self.obs.metrics_enabled:
+                    self.obs.metrics.histogram("comm_hops", op="pull").observe(hops)
                 seconds += self.cost_model.pull_cost(payload, hops=hops).total
                 continue
             elif record.op == "send":
@@ -595,7 +702,15 @@ class DistributedTrainer:
         self.logger.log_scalar("epoch_loss", epoch, summary["loss"])
         self.logger.log_scalar("epoch_density", epoch, summary["density"])
         if self.config.evaluate_each_epoch:
+            eval_start = time.perf_counter()
             evaluation = self.task.evaluate(self.model)
+            if self.obs.trace_enabled:
+                self.obs.tracer.record(
+                    "eval", "evaluate", self.iteration, None,
+                    self.clock.now, self.clock.now,
+                    host=(eval_start, time.perf_counter()),
+                    epoch=int(epoch),
+                )
             for key, value in evaluation.items():
                 self.logger.log_scalar(key, epoch, value)
             summary.update(evaluation)

@@ -9,6 +9,8 @@ dependency-free avoids dragging a logging framework into the benchmarks.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -47,6 +49,36 @@ class ScalarSeries:
         if not self.values:
             return 0.0
         return float(min(self.values))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100, linear interpolation; 0.0 when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        position = (q / 100.0) * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return float(ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction)
+
+    def summary(self) -> Dict[str, float]:
+        """Count/mean/min/max/p50/p95 of the series (zeros when empty).
+
+        This is the shape the observability metrics snapshot reports for
+        every histogram, so series and run metrics summarise identically.
+        """
+        return {
+            "count": float(len(self.values)),
+            "mean": self.mean(),
+            "min": self.min(),
+            "max": self.max(),
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
 
     def __len__(self) -> int:
         return len(self.values)
@@ -94,10 +126,26 @@ class RunLogger:
         }
 
     def save_json(self, path) -> Path:
-        """Serialise the run to a JSON file and return its path."""
+        """Serialise the run to a JSON file and return its path.
+
+        The write is atomic (temp file + ``os.replace`` in the target
+        directory, matching the result cache's write story), so a run that
+        crashes mid-save never leaves a truncated JSON behind -- the old
+        file, if any, survives intact.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2))
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(self.to_dict(), indent=2))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod

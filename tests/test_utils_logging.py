@@ -25,6 +25,67 @@ class TestScalarSeries:
         assert series.max() == 0.0
         assert series.min() == 0.0
 
+    def test_percentile_interpolates(self):
+        series = ScalarSeries("p")
+        for step, value in enumerate([1.0, 2.0, 3.0, 4.0]):
+            series.append(step, value)
+        assert series.percentile(0) == 1.0
+        assert series.percentile(100) == 4.0
+        assert series.percentile(50) == 2.5
+        assert series.percentile(25) == 1.75
+
+    def test_percentile_unordered_values(self):
+        series = ScalarSeries("p")
+        for step, value in enumerate([4.0, 1.0, 3.0, 2.0]):
+            series.append(step, value)
+        assert series.percentile(50) == 2.5
+
+    def test_percentile_empty_series(self):
+        assert ScalarSeries("empty").percentile(50) == 0.0
+
+    def test_percentile_single_element(self):
+        series = ScalarSeries("one")
+        series.append(0, 7.0)
+        for q in (0, 50, 95, 100):
+            assert series.percentile(q) == 7.0
+
+    def test_percentile_rejects_out_of_range(self):
+        series = ScalarSeries("p")
+        series.append(0, 1.0)
+        with pytest.raises(ValueError):
+            series.percentile(-1)
+        with pytest.raises(ValueError):
+            series.percentile(101)
+
+    def test_summary_keys_and_values(self):
+        series = ScalarSeries("s")
+        for step, value in enumerate([1.0, 2.0, 3.0]):
+            series.append(step, value)
+        summary = series.summary()
+        assert summary == {
+            "count": 3,
+            "mean": 2.0,
+            "min": 1.0,
+            "max": 3.0,
+            "p50": 2.0,
+            "p95": series.percentile(95),
+        }
+
+    def test_summary_empty_series(self):
+        summary = ScalarSeries("empty").summary()
+        assert summary == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0,
+        }
+
+    def test_summary_single_element(self):
+        series = ScalarSeries("one")
+        series.append(0, 5.0)
+        summary = series.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == summary["min"] == summary["max"] == 5.0
+        assert summary["p50"] == summary["p95"] == 5.0
+
 
 class TestRunLogger:
     def test_log_scalar_creates_series(self):
@@ -69,6 +130,31 @@ class TestRunLogger:
         assert payload["run_name"] == "disk"
         restored = RunLogger.load_json(path)
         assert restored.series("err").steps == [3]
+
+    def test_save_json_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "run.json"
+        old = RunLogger("old")
+        old.log_scalar("x", 0, 1.0)
+        old.save_json(path)
+        new = RunLogger("new")
+        new.log_scalar("x", 0, 2.0)
+        new.save_json(path)
+        assert json.loads(path.read_text())["run_name"] == "new"
+        # The temp file of the atomic write never lingers.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_save_json_failure_leaves_old_file_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "run.json"
+        good = RunLogger("good")
+        good.save_json(path)
+
+        bad = RunLogger("bad")
+        bad.log_metadata(unserialisable=object())  # json.dumps will raise
+        with pytest.raises(TypeError):
+            bad.save_json(path)
+        # The previous file survives and no temp file is left behind.
+        assert json.loads(path.read_text())["run_name"] == "good"
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestMergeSeries:
