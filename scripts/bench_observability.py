@@ -114,6 +114,10 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_observability.json")
     parser.add_argument("--trace-out", default="sample_trace.json",
                         help="where to write the enabled run's Chrome trace")
+    parser.add_argument("--ledger", nargs="?", const="", default=None,
+                        metavar="LEDGER.jsonl",
+                        help="append a kind=bench entry to the run ledger "
+                             "(bare flag: the default ledger location)")
     args = parser.parse_args(argv)
 
     session = Session()
@@ -181,6 +185,27 @@ def main(argv=None) -> int:
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(f"wrote {args.out} and {args.trace_out}")
+    if args.ledger is not None:
+        from repro.observability import RunLedger
+
+        ledger = RunLedger(args.ledger or None)
+        # Host-dependent throughput numbers: kind="bench" keeps them out of
+        # `repro check` unless --include-bench asks for them.
+        ledger.append({
+            "kind": "bench",
+            "spec_key": "bench:observability",
+            "source": "bench",
+            "run_name": "bench_observability",
+            "metrics": {
+                "disabled_overhead_fraction": overhead,
+                "enabled_overhead_fraction": payload["enabled_overhead_fraction"],
+                "baseline_seconds": seconds["baseline"],
+                "estimated_wallclock": wallclock,
+                "trace_spans": float(trace["otherData"]["n_spans"]),
+            },
+            "phase_totals": {k: float(v) for k, v in totals.items()},
+        })
+        print(f"ledger: appended bench entry to {ledger.path}")
     return 0
 
 

@@ -77,6 +77,10 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=4,
                         help="process-pool width of the parallel pass")
     parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument("--ledger", nargs="?", const="", default=None,
+                        metavar="LEDGER.jsonl",
+                        help="append a kind=bench entry to the run ledger "
+                             "(bare flag: the default ledger location)")
     args = parser.parse_args(argv)
 
     expansion = expand_grid(build_grid(args))
@@ -126,6 +130,26 @@ def main(argv=None) -> int:
     print(f"parallel speedup {payload['speedup_parallel_vs_serial']:.2f}x, "
           f"cached speedup {payload['speedup_cached_vs_serial']:.1f}x; "
           f"wrote {args.out}")
+    if args.ledger is not None:
+        from repro.observability import RunLedger
+
+        ledger = RunLedger(args.ledger or None)
+        # Host-dependent throughput numbers: kind="bench" keeps them out of
+        # `repro check` unless --include-bench asks for them.
+        ledger.append({
+            "kind": "bench",
+            "spec_key": "bench:sweep",
+            "source": "bench",
+            "run_name": "bench_sweep",
+            "metrics": {
+                "cells": float(n_cells),
+                "serial_cells_per_second": n_cells / serial_s,
+                "parallel_cells_per_second": n_cells / parallel_s,
+                "cached_cells_per_second": n_cells / cached_s,
+                "speedup_parallel_vs_serial": serial_s / parallel_s,
+            },
+        })
+        print(f"ledger: appended bench entry to {ledger.path}")
     return 0
 
 

@@ -12,6 +12,7 @@ keep working unchanged.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
@@ -107,6 +108,70 @@ class RunResult:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_ledger_entry(
+        self,
+        *,
+        spec_key: Optional[str] = None,
+        source: str = "run",
+        host_seconds: Optional[float] = None,
+    ) -> dict:
+        """This result as one :class:`~repro.observability.RunLedger` entry.
+
+        The entry carries the spec's content address (``spec_key``,
+        derived via :func:`repro.sweep.cache.spec_key` when not supplied
+        by a caller that already holds it), a compact label block for
+        ``repro runs list``, the final metrics plus the deterministic
+        scalar aggregates, the traffic summary, the simulated per-phase
+        totals (when the run was traced) and the metrics snapshot (when
+        metrics were recorded).  ``source`` tags how the result was
+        obtained (``"run"`` / ``"cache"``); ``host_seconds`` is the only
+        machine-dependent field and is never compared by the regression
+        sentinel.
+        """
+        if spec_key is None:
+            # Imported lazily: repro.sweep imports this module back.
+            from repro.sweep.cache import spec_key as derive_spec_key
+
+            spec_key = derive_spec_key(self.spec)
+        spec = self.spec
+        metrics = {k: float(v) for k, v in self.final_metrics.items()}
+        metrics["estimated_wallclock"] = float(self.estimated_wallclock)
+        metrics["mean_density"] = float(self.mean_density())
+        metrics["iterations_run"] = float(self.iterations_run)
+        phase_totals = None
+        metrics_snapshot = None
+        if self.observability:
+            trace = self.observability.get("trace")
+            if trace is not None:
+                totals = trace.get("otherData", {}).get("simulated_phase_totals")
+                if totals is not None:
+                    phase_totals = {k: float(v) for k, v in totals.items()}
+            metrics_snapshot = self.observability.get("metrics")
+        return {
+            "schema": 1,
+            "kind": "run",
+            "spec_key": spec_key,
+            "source": source,
+            "ts": time.time(),
+            "run_name": spec.run_name or self.logger.run_name,
+            "run": {
+                "workload": spec.workload,
+                "scale": spec.scale,
+                "seed": spec.seed,
+                "n_workers": spec.cluster.n_workers,
+                "sparsifier": spec.compression.sparsifier,
+                "aggregator": spec.robustness.aggregator,
+                "attack": spec.robustness.attack,
+                "execution": spec.execution.model,
+            },
+            "metrics": metrics,
+            "phase_totals": phase_totals,
+            "traffic": dict(self.traffic),
+            "metrics_snapshot": metrics_snapshot,
+            "host_seconds": None if host_seconds is None else float(host_seconds),
+            "error": None,
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":

@@ -9,8 +9,9 @@ and component building are identical everywhere; a benign synchronous
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.api.result import RunResult
 from repro.api.spec import RunSpec
@@ -45,7 +46,10 @@ class Session:
     DEFAULT_MAX_CACHED_TASKS = 8
 
     def __init__(
-        self, cache_tasks: bool = True, max_cached_tasks: Optional[int] = None
+        self,
+        cache_tasks: bool = True,
+        max_cached_tasks: Optional[int] = None,
+        ledger=None,
     ) -> None:
         self.cache_tasks = bool(cache_tasks)
         self.max_cached_tasks = (
@@ -54,6 +58,9 @@ class Session:
         if self.max_cached_tasks < 1:
             raise ValueError("max_cached_tasks must be >= 1")
         self._tasks: "OrderedDict[Tuple[str, str, int], Task]" = OrderedDict()
+        #: Optional :class:`~repro.observability.RunLedger`; when set,
+        #: every completed :meth:`run` appends one entry to it.
+        self.ledger = ledger
 
     # ------------------------------------------------------------------ #
     def task_for(self, workload: str, scale: str = "smoke", seed: int = 0) -> Task:
@@ -85,13 +92,17 @@ class Session:
         *,
         task: Optional[Task] = None,
         run_name: Optional[str] = None,
+        hooks: Optional[Mapping[str, Union[Callable, Tuple, List]]] = None,
     ) -> RunResult:
         """Execute one run described by ``spec`` and return its result.
 
         The spec is resolved (presets filled, capability matrix validated)
         first, so invalid combinations fail before any model or dataset is
         built.  ``task`` overrides the workload-derived dataset, for reuse
-        across runs sharing data.
+        across runs sharing data.  ``hooks`` maps event-bus event names
+        (:data:`repro.observability.EVENTS`) to a handler or a sequence of
+        handlers, subscribed on the run's always-live bus before training
+        starts -- the attachment point of live monitors and controllers.
         """
         resolved = spec.resolve()
         if task is None:
@@ -108,7 +119,15 @@ class Session:
             resolved.to_training_config(),
             run_name=run_name or resolved.run_name,
         )
+        if hooks:
+            for event, handlers in hooks.items():
+                if callable(handlers):
+                    handlers = (handlers,)
+                for handler in handlers:
+                    trainer.obs.events.subscribe(event, handler)
+        run_start = time.perf_counter()
         training_result = trainer.train()
+        host_seconds = time.perf_counter() - run_start
         meter = trainer.backend.meter
         traffic = {
             "total_sent_elements": int(meter.total_sent()),
@@ -125,12 +144,15 @@ class Session:
                 )
             if trainer.obs.metrics_enabled:
                 observability["metrics"] = trainer.obs.metrics.snapshot()
-        return RunResult(
+        result = RunResult(
             spec=resolved,
             training=training_result,
             traffic=traffic,
             observability=observability,
         )
+        if self.ledger is not None:
+            self.ledger.record(result, source="run", host_seconds=host_seconds)
+        return result
 
     # ------------------------------------------------------------------ #
     # Component introspection (the machine-readable surface of `repro

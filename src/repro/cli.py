@@ -16,6 +16,12 @@ Usage::
     python -m repro sweep --scale smoke        # every figure/table in one go
     python -m repro sweep --spec grid.json --jobs 4          # parallel grid
     python -m repro sweep --spec grid.json --no-cache --out results.json
+    python -m repro train --ledger runs.jsonl --monitor live.jsonl
+    python -m repro sweep --spec grid.json --ledger runs.jsonl
+    python -m repro runs list --ledger runs.jsonl            # run history
+    python -m repro runs show 2f0c --ledger runs.jsonl --openmetrics
+    python -m repro compare 2f0c:0 2f0c:-1 --ledger runs.jsonl
+    python -m repro check --ledger runs.jsonl --baseline baselines/ledger.jsonl
 
 (``run`` is an alias of ``train``.)
 
@@ -32,9 +38,12 @@ component registered with :mod:`repro.plugins` (see ``repro describe
 from __future__ import annotations
 
 import argparse
+import datetime as _dt
 import json
+import os
 import sys
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional
 
 from repro import api
 from repro.api.spec import (
@@ -45,8 +54,15 @@ from repro.api.spec import (
     RobustnessSpec,
     RunSpec,
 )
-from repro.observability import ObservabilitySpec
+from repro.observability import (
+    LiveMonitor,
+    ObservabilitySpec,
+    RunLedger,
+    render_openmetrics,
+)
+from repro.observability import regress
 from repro.execution import STRAGGLER_PROFILES
+from repro.utils.logging import ScalarSeries
 from repro.plugins import default_aggregator_for
 from repro.experiments import (
     fig01_buildup,
@@ -205,6 +221,20 @@ def _build_parser() -> argparse.ArgumentParser:
         train.add_argument("--observe-metrics", action="store_true",
                            help="record counters/gauges/histograms over the run "
                                 "and print the snapshot summary")
+        train.add_argument("--metrics-out", default=None, metavar="OUT.prom",
+                           help="write the run's metrics snapshot in the "
+                                "OpenMetrics/Prometheus text format "
+                                "(implies --observe-metrics)")
+        train.add_argument("--monitor", default=None, metavar="OUT.jsonl",
+                           help="stream one JSON line per completed round "
+                                "(round, loss, staleness p95, virtual time) "
+                                "to OUT.jsonl while training runs")
+        train.add_argument("--ledger", nargs="?", const="", default=None,
+                           metavar="LEDGER.jsonl",
+                           help="append the run to the JSONL run ledger "
+                                "(bare flag: $REPRO_LEDGER or "
+                                "~/.cache/repro/ledger.jsonl); query with "
+                                "`repro runs list` / gate with `repro check`")
 
     experiment = sub.add_parser("experiment", help="regenerate one paper figure/table")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -235,6 +265,74 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--progress", action="store_true",
                        help="prefix per-cell outcome lines with [done/total] "
                             "and an ETA estimate")
+    sweep.add_argument("--ledger", nargs="?", const="", default=None,
+                       metavar="LEDGER.jsonl",
+                       help="append every settled cell to the JSONL run "
+                            "ledger, tagged run/cache/error (bare flag: the "
+                            "default ledger location)")
+
+    runs = sub.add_parser("runs", help="query the run ledger")
+    runs_sub = runs.add_subparsers(dest="runs_command")
+    runs_list = runs_sub.add_parser(
+        "list", help="one line per spec key: entry count, label, last metrics"
+    )
+    runs_list.add_argument("--ledger", default=None, metavar="LEDGER.jsonl",
+                           help="ledger location (default: $REPRO_LEDGER or "
+                                "~/.cache/repro/ledger.jsonl)")
+    runs_list.add_argument("--spec-key", default=None,
+                           help="only spec keys with this prefix")
+    runs_list.add_argument("--json", action="store_true", dest="as_json")
+    runs_show = runs_sub.add_parser(
+        "show", help="every ledger entry of one spec key (or run name)"
+    )
+    runs_show.add_argument("key", help="spec-key prefix (e.g. the first 12 "
+                                       "hex chars from `runs list`) or an "
+                                       "exact run name")
+    runs_show.add_argument("--ledger", default=None, metavar="LEDGER.jsonl")
+    runs_show.add_argument("--limit", type=int, default=10,
+                           help="newest entries shown (default 10)")
+    runs_show.add_argument("--json", action="store_true", dest="as_json")
+    runs_show.add_argument("--openmetrics", action="store_true",
+                           help="dump the newest entry's metrics snapshot as "
+                                "OpenMetrics text instead of the summary")
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two runs or two traces, metric by metric",
+    )
+    compare.add_argument("a", help="ledger reference (SPEC_KEY_PREFIX or "
+                                   "PREFIX:INDEX, negative indices from the "
+                                   "end) or a JSON file (ledger entry or "
+                                   "Chrome trace)")
+    compare.add_argument("b", help="second run/trace, same forms as A")
+    compare.add_argument("--ledger", default=None, metavar="LEDGER.jsonl")
+    compare.add_argument("--json", action="store_true", dest="as_json")
+
+    check = sub.add_parser(
+        "check",
+        help="regression-gate the newest run of every spec key against the "
+             "ledger's history (non-zero exit on regression)",
+    )
+    check.add_argument("--ledger", default=None, metavar="LEDGER.jsonl",
+                       help="ledger holding the candidate runs (default: the "
+                            "default ledger location)")
+    check.add_argument("--baseline", default=None, metavar="BASELINE.jsonl",
+                       help="separate ledger supplying the historical "
+                            "distribution (default: the candidates' own "
+                            "ledger, each entry judged against the entries "
+                            "before it)")
+    check.add_argument("--spec-key", default=None,
+                       help="only check spec keys with this prefix")
+    check.add_argument("--z", type=float, default=regress.DEFAULT_Z_THRESHOLD,
+                       help="robust z-score threshold (default %(default)s)")
+    check.add_argument("--rel", type=float,
+                       default=regress.DEFAULT_REL_THRESHOLD,
+                       help="relative-deviation threshold "
+                            "(default %(default)s)")
+    check.add_argument("--include-bench", action="store_true",
+                       help="also check kind=bench entries (host-dependent "
+                            "throughput numbers; skipped by default)")
+    check.add_argument("--json", action="store_true", dest="as_json")
 
     return parser
 
@@ -302,7 +400,7 @@ def _spec_from_args(args) -> RunSpec:
         ),
         observability=ObservabilitySpec(
             trace=args.trace is not None,
-            metrics=args.observe_metrics,
+            metrics=args.observe_metrics or args.metrics_out is not None,
         ),
     )
 
@@ -379,10 +477,30 @@ def _command_describe(ref: str, as_json: bool = False) -> int:
     return 0
 
 
+def _ledger_from_arg(value: Optional[str]) -> Optional[RunLedger]:
+    """``--ledger`` → a RunLedger (bare flag = the default location)."""
+    if value is None:
+        return None
+    return RunLedger(value or None)
+
+
 def _command_train(args) -> int:
+    ledger = _ledger_from_arg(args.ledger)
+    monitor = None
+    monitor_handle = None
     try:
         spec = _spec_from_args(args)
-        result = api.run(spec)
+        hooks = None
+        if args.monitor:
+            monitor_handle = open(args.monitor, "w")
+            monitor = LiveMonitor(monitor_handle)
+            hooks = monitor.hooks()
+        try:
+            session = api.Session(ledger=ledger)
+            result = session.run(spec, hooks=hooks)
+        finally:
+            if monitor_handle is not None:
+                monitor_handle.close()
     except (ValueError, KeyError) as exc:
         # Invalid configuration (e.g. n_byzantine >= workers, trimmed_mean
         # over capacity, density out of range): report cleanly, exit 2.
@@ -420,6 +538,14 @@ def _command_train(args) -> int:
             print(f"  metrics: {n_instruments} instruments recorded")
             for name, value in sorted(metrics_payload.get("counters", {}).items()):
                 print(f"    {name} = {value}")
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as handle:
+                    handle.write(render_openmetrics(metrics_payload))
+                print(f"  wrote OpenMetrics text to {args.metrics_out}")
+    if monitor is not None:
+        print(f"  monitor: {monitor.rounds} round records in {args.monitor}")
+    if ledger is not None:
+        print(f"  ledger: appended to {ledger.path}")
     return 0
 
 
@@ -470,6 +596,7 @@ def _command_sweep_grid(args) -> int:
         print("error: the grid expanded to zero runnable cells", file=sys.stderr)
         return 2
     cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    ledger = _ledger_from_arg(args.ledger)
     print(f"sweeping {len(expansion.specs)} cells "
           f"(jobs={args.jobs}, cache={'off' if cache is None else cache.root})")
 
@@ -501,7 +628,8 @@ def _command_sweep_grid(args) -> int:
         print(f"{prefix}[{outcome.source:>5}] {_cell_label(outcome.spec)}  {metrics}  "
               f"({outcome.seconds:.2f}s){suffix}")
 
-    report = run_sweep(expansion.specs, jobs=args.jobs, cache=cache, progress=_progress)
+    report = run_sweep(expansion.specs, jobs=args.jobs, cache=cache,
+                       progress=_progress, ledger=ledger)
     counts = report.counts()
     by_source = report.seconds_by_source()
     print(f"done in {report.seconds:.2f}s: {counts['run']} run, "
@@ -510,6 +638,14 @@ def _command_sweep_grid(args) -> int:
           f"({report.cells_per_second():.2f} cells/s)")
     print(f"  cell time: run {by_source['run']:.2f}s, "
           f"cache {by_source['cache']:.3f}s, error {by_source['error']:.2f}s")
+    cell_seconds = ScalarSeries(name="cell_seconds")
+    for outcome in report.outcomes:
+        cell_seconds.append(outcome.index, outcome.seconds)
+    latency = cell_seconds.summary()
+    print(f"  cell seconds: p50 {latency['p50']:.3f}s, "
+          f"p95 {latency['p95']:.3f}s, p99 {latency['p99']:.3f}s")
+    if ledger is not None:
+        print(f"  ledger: {len(report)} entries appended to {ledger.path}")
     if args.out:
         payload = {
             "cells": [
@@ -536,6 +672,255 @@ def _command_sweep_grid(args) -> int:
     return 1 if counts["error"] else 0
 
 
+# ---------------------------------------------------------------------- #
+# Run ledger querying, diffing and regression gating.
+# ---------------------------------------------------------------------- #
+def _entry_label(entry: Mapping) -> str:
+    """Compact one-line description of a ledger entry."""
+    if entry.get("kind") == "bench":
+        return f"bench {entry.get('run_name') or entry.get('spec_key')}"
+    run = entry.get("run") or {}
+    if not run:
+        return str(entry.get("run_name") or "?")
+    return (f"{run.get('workload', '?')} {run.get('sparsifier', '?')} "
+            f"agg={run.get('aggregator')} atk={run.get('attack')} "
+            f"exe={run.get('execution')} seed={run.get('seed')}")
+
+
+def _entry_metrics_text(entry: Mapping, limit: int = 4) -> str:
+    metrics = regress.comparable_metrics(entry)
+    shown = [
+        f"{name}={metrics[name]:.4g}"
+        for name in sorted(metrics)
+        if not name.startswith(("phase_totals.", "traffic."))
+    ][:limit]
+    return ", ".join(shown) if shown else "(no metrics)"
+
+
+def _command_runs_list(args) -> int:
+    ledger = RunLedger(args.ledger)
+    grouped = ledger.by_spec_key()
+    if args.spec_key:
+        grouped = OrderedDict(
+            (key, entries) for key, entries in grouped.items()
+            if key.startswith(args.spec_key)
+        )
+    if args.as_json:
+        payload = [
+            {
+                "spec_key": key,
+                "entries": len(entries),
+                "kind": entries[-1].get("kind"),
+                "run_name": entries[-1].get("run_name"),
+                "last_source": entries[-1].get("source"),
+                "last_ts": entries[-1].get("ts"),
+                "last_metrics": regress.comparable_metrics(entries[-1]),
+            }
+            for key, entries in grouped.items()
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not grouped:
+        print(f"ledger {ledger.path}: no entries")
+        return 0
+    print(f"ledger {ledger.path}: {sum(len(v) for v in grouped.values())} entries, "
+          f"{len(grouped)} spec keys"
+          + (f" ({ledger.skipped} malformed lines skipped)" if ledger.skipped else ""))
+    for key, entries in grouped.items():
+        last = entries[-1]
+        print(f"  {key[:12]:<12} x{len(entries):<3} [{last.get('source') or last.get('kind'):>5}] "
+              f"{_entry_label(last)}  {_entry_metrics_text(last)}")
+    return 0
+
+
+def _command_runs_show(args) -> int:
+    ledger = RunLedger(args.ledger)
+    matching = ledger.entries_for(args.key)
+    if not matching:
+        # Fall back to exact run-name lookup so `runs show my-run` works.
+        matching = [e for e in ledger.entries() if e.get("run_name") == args.key]
+    if not matching:
+        print(f"error: no ledger entries match {args.key!r} in {ledger.path}",
+              file=sys.stderr)
+        return 2
+    shown = matching[-max(args.limit, 1):]
+    if args.openmetrics:
+        snapshot = None
+        for entry in reversed(matching):
+            snapshot = entry.get("metrics_snapshot")
+            if snapshot:
+                break
+        if not snapshot:
+            print(f"error: no entry of {args.key!r} carries a metrics snapshot "
+                  "(run with --observe-metrics)", file=sys.stderr)
+            return 2
+        sys.stdout.write(render_openmetrics(snapshot))
+        return 0
+    if args.as_json:
+        print(json.dumps(shown, indent=2, sort_keys=True))
+        return 0
+    print(f"{matching[-1]['spec_key']}: {len(matching)} entries "
+          f"(showing newest {len(shown)})")
+    for entry in shown:
+        ts = entry.get("ts")
+        stamp = (
+            _dt.datetime.fromtimestamp(float(ts)).strftime("%Y-%m-%d %H:%M:%S")
+            if isinstance(ts, (int, float)) else "?"
+        )
+        host = entry.get("host_seconds")
+        host_text = f", host {host:.2f}s" if isinstance(host, (int, float)) else ""
+        error = entry.get("error")
+        if error:
+            print(f"  {stamp} [{entry.get('source') or entry.get('kind'):>5}] "
+                  f"ERROR: {error}")
+            continue
+        print(f"  {stamp} [{entry.get('source') or entry.get('kind'):>5}] "
+              f"{_entry_metrics_text(entry, limit=6)}{host_text}")
+        totals = entry.get("phase_totals")
+        if totals:
+            phases = ", ".join(f"{k}={v:.4g}s" for k, v in sorted(totals.items()))
+            print(f"      phases: {phases}")
+    return 0
+
+
+def _resolve_compare_ref(ref: str, ledger: RunLedger) -> Mapping:
+    """A ``repro compare`` operand → a comparable entry dict.
+
+    An existing file is loaded as JSON -- a Chrome trace (``traceEvents``)
+    is lifted via :func:`regress.entry_from_trace`, anything else is taken
+    as a ledger entry.  Otherwise the operand is a ledger reference:
+    ``SPEC_KEY_PREFIX`` (newest entry) or ``PREFIX:INDEX`` (append order,
+    negative indices from the end).
+    """
+    if os.path.exists(ref):
+        with open(ref) as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"{ref}: expected a JSON object")
+        if "traceEvents" in data:
+            return regress.entry_from_trace(data)
+        return data
+    prefix, sep, index_text = ref.rpartition(":")
+    index = None
+    if sep and prefix:
+        try:
+            index = int(index_text)
+        except ValueError:
+            prefix = ref
+    else:
+        prefix = ref
+    matching = ledger.entries_for(prefix)
+    if not matching:
+        raise ValueError(f"no ledger entries match {prefix!r} in {ledger.path}")
+    try:
+        return matching[index if index is not None else -1]
+    except IndexError:
+        raise ValueError(
+            f"{prefix!r} has {len(matching)} entries; index {index} out of range"
+        )
+
+
+def _command_compare(args) -> int:
+    ledger = RunLedger(args.ledger)
+    try:
+        entry_a = _resolve_compare_ref(args.a, ledger)
+        entry_b = _resolve_compare_ref(args.b, ledger)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = regress.diff_entries(entry_a, entry_b)
+    if args.as_json:
+        print(json.dumps(
+            {
+                "a": {"spec_key": entry_a.get("spec_key"), "ref": args.a},
+                "b": {"spec_key": entry_b.get("spec_key"), "ref": args.b},
+                "diff": diff,
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"A: {args.a} ({_entry_label(entry_a)})")
+    print(f"B: {args.b} ({_entry_label(entry_b)})")
+    width = max((len(name) for name in diff), default=10)
+    for metric, row in diff.items():
+        if row["delta"] is None:
+            side = "A" if row["a"] is not None else "B"
+            value = row["a"] if row["a"] is not None else row["b"]
+            print(f"  {metric:<{width}}  only in {side}: {value:.6g}")
+            continue
+        marker = ""
+        if row["rel"] and abs(row["rel"]) > regress.DEFAULT_REL_THRESHOLD:
+            marker = "  <-- differs"
+        print(f"  {metric:<{width}}  {row['a']:.6g} -> {row['b']:.6g}  "
+              f"(delta {row['delta']:+.6g}, rel {row['rel'] * 100:+.2f}%){marker}")
+    return 0
+
+
+def _command_check(args) -> int:
+    ledger = RunLedger(args.ledger)
+    if not ledger.path.exists():
+        print(f"error: no ledger at {ledger.path}", file=sys.stderr)
+        return 2
+    kinds = {"run", "bench"} if args.include_bench else {"run"}
+
+    def _keep(entry: Mapping) -> bool:
+        if entry.get("kind", "run") not in kinds or entry.get("error"):
+            return False
+        return not args.spec_key or str(entry["spec_key"]).startswith(args.spec_key)
+
+    grouped = OrderedDict(
+        (key, kept)
+        for key, entries in ledger.by_spec_key().items()
+        if (kept := [e for e in entries if _keep(e)])
+    )
+    if not grouped:
+        print(f"error: no checkable entries in {ledger.path}"
+              + (f" matching {args.spec_key!r}" if args.spec_key else ""),
+              file=sys.stderr)
+        return 2
+    candidates = OrderedDict((key, entries[-1]) for key, entries in grouped.items())
+    if args.baseline:
+        baseline_ledger = RunLedger(args.baseline)
+        if not baseline_ledger.path.exists():
+            print(f"error: no baseline ledger at {baseline_ledger.path}",
+                  file=sys.stderr)
+            return 2
+        baseline = {
+            key: [e for e in entries if _keep(e)]
+            for key, entries in baseline_ledger.by_spec_key().items()
+        }
+    else:
+        # Self-check: each candidate judged against its own prior entries.
+        baseline = {key: entries[:-1] for key, entries in grouped.items()}
+    reports = regress.check_ledger(
+        candidates, baseline, z_threshold=args.z, rel_threshold=args.rel
+    )
+    if args.as_json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2, sort_keys=True))
+        return 1 if any(not r.ok for r in reports) else 0
+    failed = 0
+    new = 0
+    for report in reports:
+        key = report.spec_key[:12]
+        label = _entry_label(candidates[report.spec_key])
+        if report.n_history == 0:
+            new += 1
+            print(f"  [ new] {key}  {label}  (no baseline history; recorded)")
+            continue
+        if report.ok:
+            print(f"  [  ok] {key}  {label}  "
+                  f"({len(report.verdicts)} metrics vs {report.n_history} baseline entries)")
+            continue
+        failed += 1
+        print(f"  [FAIL] {key}  {label}")
+        for verdict in report.regressions:
+            print(f"         {verdict.describe()}")
+    verdict_text = "REGRESSED" if failed else "ok"
+    print(f"check: {verdict_text} -- {len(reports)} spec keys, "
+          f"{failed} regressed, {new} new (z>{args.z:g}, rel>{args.rel:g})")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """Entry point used by ``python -m repro``."""
     parser = _build_parser()
@@ -555,6 +940,17 @@ def main(argv: Optional[list] = None) -> int:
         if args.grid_path:
             return _command_sweep_grid(args)
         return _command_sweep(args.scale)
+    if args.command == "runs":
+        if args.runs_command == "list":
+            return _command_runs_list(args)
+        if args.runs_command == "show":
+            return _command_runs_show(args)
+        parser.parse_args(["runs", "--help"])
+        return 1
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "check":
+        return _command_check(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

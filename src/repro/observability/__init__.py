@@ -16,11 +16,29 @@ Everything is off by default (``ObservabilitySpec()``), deterministic in
 simulated time, and guaranteed non-perturbing: training results are
 bit-identical with observability on or off, and the disabled hot-path
 overhead is guarded below 3% by ``scripts/bench_observability.py``.
+
+On top of the per-run layer sits the durable half:
+
+- :class:`RunLedger` -- an append-only, concurrency-safe JSONL history of
+  runs keyed by the sweep cache's spec hash (``repro runs list|show``);
+- :func:`render_openmetrics` / :func:`parse_openmetrics` -- the
+  OpenMetrics text exposition of a metrics snapshot, and its inverse;
+- :class:`LiveMonitor` -- a per-round JSONL stream over the event bus
+  (``repro train --monitor out.jsonl``);
+- :mod:`repro.observability.regress` -- the regression sentinel comparing
+  a run against the ledger's historical distribution for the same spec
+  (``repro check``) and diffing two runs or traces (``repro compare``).
 """
 
 from repro.observability.config import ObservabilitySpec
 from repro.observability.events import EVENTS, EventBus
+from repro.observability.export import (
+    LiveMonitor,
+    parse_openmetrics,
+    render_openmetrics,
+)
 from repro.observability.hub import Observability
+from repro.observability.ledger import RunLedger, default_ledger_path
 from repro.observability.metrics import (
     NULL_METRICS,
     Counter,
@@ -47,4 +65,9 @@ __all__ = [
     "Histogram",
     "NULL_METRICS",
     "NULL_TRACER",
+    "RunLedger",
+    "default_ledger_path",
+    "LiveMonitor",
+    "render_openmetrics",
+    "parse_openmetrics",
 ]

@@ -1,0 +1,279 @@
+"""Machine-readable exports of run metrics: OpenMetrics text + live JSONL.
+
+Two read paths out of the in-process observability layer:
+
+- :func:`render_openmetrics` turns a :meth:`MetricsRegistry.snapshot
+  <repro.observability.MetricsRegistry.snapshot>` dict into the
+  OpenMetrics / Prometheus text exposition format -- counters and gauges
+  as plain samples, histograms as ``summary`` families with
+  ``quantile``-labelled p50/p95/p99 samples plus ``_count``/``_sum`` --
+  so any Prometheus-compatible scraper or ``promtool`` ingests a run's
+  metrics without bespoke glue.  :func:`parse_openmetrics` is the inverse
+  for the line format (used by the round-trip tests and ``repro
+  compare``-style tooling).
+
+- :class:`LiveMonitor` subscribes to a run's event bus and streams one
+  JSON line per completed round -- round index, schedule, loss, the
+  staleness p95 observed so far, virtual time -- to any writable stream,
+  giving ``repro train --monitor out.jsonl`` a tail-able progress feed
+  with zero effect on training (the bus is observer-only).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, TextIO, Tuple
+
+from repro.utils.logging import ScalarSeries
+
+__all__ = [
+    "LiveMonitor",
+    "OpenMetricsSample",
+    "ParsedExposition",
+    "parse_openmetrics",
+    "render_openmetrics",
+]
+
+#: Histogram-summary quantiles exported (matches ``ScalarSeries.summary``).
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+# ---------------------------------------------------------------------- #
+# Rendering.
+# ---------------------------------------------------------------------- #
+def _split_rendered(rendered: str) -> Tuple[str, Dict[str, str]]:
+    """Split a snapshot key (``comm_hops{op=push}``) into name + labels."""
+    if "{" not in rendered:
+        return rendered, {}
+    name, _, rest = rendered.partition("{")
+    labels: Dict[str, str] = {}
+    for item in rest.rstrip("}").split(","):
+        if not item:
+            continue
+        key, _, value = item.partition("=")
+        labels[key] = value
+    return name, labels
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))
+
+
+def _counter_family(name: str) -> str:
+    """OpenMetrics counter family name (sample name minus ``_total``)."""
+    return name[: -len("_total")] if name.endswith("_total") else name
+
+
+def render_openmetrics(snapshot: Mapping[str, Mapping], prefix: str = "") -> str:
+    """The OpenMetrics text exposition of one metrics snapshot.
+
+    ``snapshot`` is the dict :meth:`MetricsRegistry.snapshot` produces
+    (``counters`` / ``gauges`` / ``histograms`` keyed by rendered
+    instrument names).  Counter sample names are normalised to the
+    mandatory ``_total`` suffix; histograms export as ``summary``
+    families.  ``prefix`` is prepended to every family name (e.g.
+    ``"repro_"``).  The output ends with the ``# EOF`` terminator the
+    format requires.
+    """
+    lines: List[str] = []
+
+    # Counters: group label sets under one family TYPE line.
+    families: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for rendered, value in sorted((snapshot.get("counters") or {}).items()):
+        name, labels = _split_rendered(rendered)
+        family = prefix + _counter_family(name)
+        families.setdefault(family, []).append((labels, float(value)))
+    for family, samples in families.items():
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in samples:
+            lines.append(
+                f"{family}_total{_format_labels(labels)} {_format_value(value)}"
+            )
+
+    gauge_families: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for rendered, value in sorted((snapshot.get("gauges") or {}).items()):
+        name, labels = _split_rendered(rendered)
+        gauge_families.setdefault(prefix + name, []).append((labels, float(value)))
+    for family, samples in gauge_families.items():
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in samples:
+            lines.append(f"{family}{_format_labels(labels)} {_format_value(value)}")
+
+    summary_families: Dict[str, List[Tuple[Dict[str, str], Mapping[str, float]]]] = {}
+    for rendered, summary in sorted((snapshot.get("histograms") or {}).items()):
+        name, labels = _split_rendered(rendered)
+        summary_families.setdefault(prefix + name, []).append((labels, summary))
+    for family, samples in summary_families.items():
+        lines.append(f"# TYPE {family} summary")
+        for labels, summary in samples:
+            for quantile, key in _QUANTILES:
+                q_labels = dict(labels)
+                q_labels["quantile"] = quantile
+                lines.append(
+                    f"{family}{_format_labels(q_labels)} "
+                    f"{_format_value(summary.get(key, 0.0))}"
+                )
+            count = float(summary.get("count", 0.0))
+            mean = float(summary.get("mean", 0.0))
+            label_text = _format_labels(labels)
+            lines.append(f"{family}_count{label_text} {_format_value(count)}")
+            lines.append(f"{family}_sum{label_text} {_format_value(mean * count)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# Parsing (the inverse of the line format, for round-trip verification).
+# ---------------------------------------------------------------------- #
+@dataclass
+class OpenMetricsSample:
+    """One parsed sample line: name, label dict, float value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+@dataclass
+class ParsedExposition:
+    """A parsed OpenMetrics text document."""
+
+    #: Family name -> declared type (``counter`` / ``gauge`` / ``summary``).
+    families: Dict[str, str] = field(default_factory=dict)
+    samples: List[OpenMetricsSample] = field(default_factory=list)
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """The value of the sample matching ``name`` and ``labels`` exactly."""
+        wanted = {key: str(val) for key, val in labels.items()}
+        for sample in self.samples:
+            if sample.name == name and sample.labels == wanted:
+                return sample.value
+        return None
+
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(
+    # Labels match greedily to the *last* closing brace: quoted label
+    # values may legally contain '}' and the trailing value is numeric,
+    # so the final brace before the value always closes the label set.
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+
+_ESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPES = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape_label(value: str) -> str:
+    # A single left-to-right scan: sequential str.replace would corrupt a
+    # literal backslash followed by 'n' into a newline.
+    return _ESCAPE_RE.sub(lambda m: _UNESCAPES.get(m.group(1), m.group(1)), value)
+
+
+def parse_openmetrics(text: str) -> ParsedExposition:
+    """Parse an OpenMetrics text exposition back into typed samples.
+
+    Raises ``ValueError`` on a malformed sample line or a document missing
+    its ``# EOF`` terminator, so a truncated export is caught rather than
+    silently half-read.
+    """
+    parsed = ParsedExposition()
+    saw_eof = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError("content after the # EOF terminator")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"malformed TYPE line: {line!r}")
+            parsed.families[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT or comments: tolerated, not modelled.
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"malformed sample line: {line!r}")
+        labels: Dict[str, str] = {}
+        if match.group("labels"):
+            for key, value in _LABEL_RE.findall(match.group("labels")):
+                labels[key] = _unescape_label(value)
+        parsed.samples.append(
+            OpenMetricsSample(
+                name=match.group("name"),
+                labels=labels,
+                value=float(match.group("value")),
+            )
+        )
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    return parsed
+
+
+# ---------------------------------------------------------------------- #
+# Live per-round monitoring over the event bus.
+# ---------------------------------------------------------------------- #
+class LiveMonitor:
+    """Streams one JSON line per completed round to a writable stream.
+
+    Subscribe via ``session.run(spec, hooks=monitor.hooks())`` (or
+    ``bus.subscribe("round_complete", monitor.on_round)`` directly).  Each
+    line carries the round index, the schedule name, the round's loss,
+    the p95 of every staleness value seen so far (``null`` for schedules
+    that report none), and the virtual-clock time -- enough for
+    ``tail -f`` progress dashboards without touching the trainer.
+    """
+
+    def __init__(self, stream: TextIO) -> None:
+        self.stream = stream
+        self.rounds = 0
+        self._staleness = ScalarSeries(name="staleness")
+
+    def hooks(self) -> Dict[str, object]:
+        """The ``hooks=`` mapping subscribing this monitor to a run."""
+        return {"round_complete": self.on_round}
+
+    def on_round(self, payload: Mapping[str, object]) -> None:
+        metrics = payload.get("metrics") or {}
+        staleness = metrics.get("staleness")
+        if staleness is not None:
+            self._staleness.append(self.rounds, float(staleness))
+        record = {
+            "round": payload.get("iteration"),
+            "schedule": payload.get("schedule"),
+            "loss": metrics.get("loss"),
+            "staleness_p95": (
+                self._staleness.percentile(95.0) if len(self._staleness) else None
+            ),
+            "virtual_time": payload.get("virtual_time"),
+        }
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
+        self.rounds += 1

@@ -1,0 +1,177 @@
+"""Append-only JSONL run ledger: the durable history behind every run.
+
+The observability layer of PR 6 made a run describable while it executes;
+everything it recorded died with the process.  :class:`RunLedger` is the
+persistence half: one JSON object per line, one line per run (or per
+sweep cell, or per benchmark invocation), keyed by the same content
+address the sweep cache uses (:func:`repro.sweep.cache.spec_key`), so the
+question "how did the last hundred runs of *this exact spec* behave?" is a
+file scan -- and the regression sentinel
+(:mod:`repro.observability.regress`) can answer it mechanically.
+
+Writes are crash- and concurrency-safe without any coordinator process:
+
+- each entry is serialised to one newline-terminated line and written
+  with a **single** ``os.write`` to a file opened ``O_APPEND``, so the
+  kernel serialises concurrent appenders at the offset level;
+- where :mod:`fcntl` exists (POSIX) an exclusive ``flock`` additionally
+  brackets the write, covering the (theoretical) partial-write case on
+  filesystems that split large appends;
+- malformed lines (a writer killed mid-write on a non-POSIX host) are
+  *skipped and counted* on read, never fatal -- one bad line cannot wedge
+  the history.
+
+The schema is deliberately open: :meth:`RunLedger.append` requires only
+``spec_key`` and stamps ``schema``/``kind``/``ts`` defaults, so run
+entries (``kind="run"``, built by
+:meth:`repro.api.RunResult.to_ledger_entry`) and benchmark entries
+(``kind="bench"``, appended by ``scripts/bench_*.py``) share one file and
+one query surface (``repro runs list`` / ``repro runs show``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+try:  # pragma: no cover - platform-dependent import
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["LEDGER_ENV_VAR", "LEDGER_SCHEMA", "RunLedger", "default_ledger_path"]
+
+#: Environment variable overriding the default ledger location.
+LEDGER_ENV_VAR = "REPRO_LEDGER"
+
+#: Entry schema version, stamped into every appended line.
+LEDGER_SCHEMA = 1
+
+
+def default_ledger_path() -> Path:
+    """The ledger location: ``$REPRO_LEDGER`` or ``~/.cache/repro/ledger.jsonl``."""
+    env = os.environ.get(LEDGER_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "ledger.jsonl"
+
+
+class RunLedger:
+    """Append-only JSONL history of runs, keyed by ``spec_key``."""
+
+    def __init__(self, path=None) -> None:
+        self.path = Path(path) if path is not None else default_ledger_path()
+        #: Malformed lines skipped by the most recent :meth:`entries` read.
+        self.skipped = 0
+
+    # ------------------------------------------------------------------ #
+    # Writing.
+    # ------------------------------------------------------------------ #
+    def append(self, entry: Mapping[str, object]) -> Dict[str, object]:
+        """Append one entry as a single JSONL line; returns the stamped dict.
+
+        ``spec_key`` is required.  ``schema``, ``kind`` (``"run"``) and
+        ``ts`` (Unix seconds) are filled when absent.  The serialised line
+        is written atomically with respect to concurrent appenders (see
+        the module docstring), so a process pool funnelling cells into one
+        ledger yields exactly one well-formed line per cell.
+        """
+        stamped: Dict[str, object] = dict(entry)
+        if not stamped.get("spec_key"):
+            raise ValueError("ledger entries require a non-empty 'spec_key'")
+        stamped.setdefault("schema", LEDGER_SCHEMA)
+        stamped.setdefault("kind", "run")
+        stamped.setdefault("ts", time.time())
+        line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
+        data = (line + "\n").encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            # One write call for the whole line; loop only on the partial
+            # writes POSIX permits (held under the flock above, so even
+            # then no other line can interleave).
+            view = memoryview(data)
+            while view:
+                written = os.write(fd, view)
+                view = view[written:]
+        finally:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+        return stamped
+
+    def record(
+        self,
+        result,
+        *,
+        spec_key: Optional[str] = None,
+        source: str = "run",
+        host_seconds: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Append a :class:`~repro.api.RunResult` as a ``kind="run"`` entry."""
+        return self.append(
+            result.to_ledger_entry(
+                spec_key=spec_key, source=source, host_seconds=host_seconds
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reading.
+    # ------------------------------------------------------------------ #
+    def entries(self) -> List[Dict[str, object]]:
+        """Every well-formed entry, in append order.
+
+        Blank and malformed lines are skipped (their count lands in
+        :attr:`skipped`); a missing ledger file is an empty history.
+        """
+        self.skipped = 0
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return []
+        out: List[Dict[str, object]] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                self.skipped += 1
+                continue
+            if not isinstance(entry, dict) or not entry.get("spec_key"):
+                self.skipped += 1
+                continue
+            out.append(entry)
+        return out
+
+    def entries_for(self, spec_key: str) -> List[Dict[str, object]]:
+        """Entries whose ``spec_key`` equals or starts with ``spec_key``."""
+        return [
+            entry
+            for entry in self.entries()
+            if str(entry.get("spec_key", "")).startswith(spec_key)
+        ]
+
+    def by_spec_key(self) -> "OrderedDict[str, List[Dict[str, object]]]":
+        """Entries grouped by ``spec_key``, in first-appearance order."""
+        grouped: "OrderedDict[str, List[Dict[str, object]]]" = OrderedDict()
+        for entry in self.entries():
+            grouped.setdefault(str(entry["spec_key"]), []).append(entry)
+        return grouped
+
+    def latest(self, spec_key: str) -> Optional[Dict[str, object]]:
+        """The newest entry whose key equals or starts with ``spec_key``."""
+        matching = self.entries_for(spec_key)
+        return matching[-1] if matching else None
+
+    def __len__(self) -> int:
+        return len(self.entries())

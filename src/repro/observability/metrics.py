@@ -3,10 +3,16 @@
 Instruments built through :class:`MetricsRegistry` are keyed by
 ``(name, sorted label set)``, Prometheus-style (``comm_hops{op=push}``),
 and snapshot into plain dicts for :meth:`~repro.api.RunResult.to_dict`.
-Histograms keep their raw observations in a
-:class:`~repro.utils.logging.ScalarSeries` and summarise through its
-``summary()`` (count/mean/min/max/p50/p95), so run metrics and logged
-series report percentiles identically.
+Histograms keep **bounded** memory: exact running count/sum/min/max plus a
+deterministic reservoir sample of at most
+:data:`Histogram.DEFAULT_MAX_OBSERVATIONS` raw values, summarised in the
+same shape as :meth:`~repro.utils.logging.ScalarSeries.summary`
+(count/mean/min/max/p50/p95/p99) plus ``observations_kept``, so run
+metrics and logged series report percentiles identically and a
+long-running sweep cannot grow an instrument without limit.
+
+Snapshots render into the OpenMetrics/Prometheus text format through
+:func:`repro.observability.export.render_openmetrics`.
 
 When observability is disabled the registry is replaced by
 :data:`NULL_METRICS`, whose instruments are shared no-op singletons --
@@ -16,7 +22,9 @@ empty method body.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+import math
+import random
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.utils.logging import ScalarSeries
 
@@ -75,20 +83,102 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution of observations, summarised via ``ScalarSeries``."""
+    """A distribution of observations under a hard memory bound.
 
-    __slots__ = ("name", "labels", "series")
+    Count, sum, min and max are tracked exactly over *every* observation.
+    Raw values for the percentiles are capped at ``max_observations``
+    (default :data:`DEFAULT_MAX_OBSERVATIONS`) via reservoir sampling, so
+    an instrument fed by a week-long sweep stays O(cap) while its
+    percentiles remain an unbiased estimate of the full stream.  The
+    reservoir RNG is seeded from the instrument's rendered name, so two
+    runs feeding identical streams summarise identically.
+    """
 
-    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+    #: Default cap on raw retained observations per instrument.
+    DEFAULT_MAX_OBSERVATIONS = 4096
+
+    __slots__ = (
+        "name",
+        "labels",
+        "max_observations",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_kept",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        max_observations: Optional[int] = None,
+    ) -> None:
         self.name = name
         self.labels = labels
-        self.series = ScalarSeries(name=name)
+        self.max_observations = (
+            self.DEFAULT_MAX_OBSERVATIONS
+            if max_observations is None
+            else int(max_observations)
+        )
+        if self.max_observations < 1:
+            raise ValueError(
+                f"max_observations must be >= 1, got {self.max_observations}"
+            )
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._kept: list = []
+        self._rng = random.Random(_render(name, labels))
 
     def observe(self, value: float) -> None:
-        self.series.append(len(self.series), float(value))
+        v = float(value)
+        self._count += 1
+        self._sum += v
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+        kept = self._kept
+        if len(kept) < self.max_observations:
+            kept.append(v)
+        else:
+            # Algorithm R: every observation lands in the reservoir with
+            # probability cap/count, so the sample stays uniform over the
+            # whole stream.
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_observations:
+                kept[slot] = v
+
+    @property
+    def count(self) -> int:
+        """Exact number of observations ever made (not just retained)."""
+        return self._count
+
+    @property
+    def values(self) -> list:
+        """The retained reservoir sample (at most ``max_observations``)."""
+        return list(self._kept)
 
     def summary(self) -> Dict[str, float]:
-        return self.series.summary()
+        """Exact count/mean/min/max, reservoir percentiles, and the cap.
+
+        ``observations_kept`` reports how many raw values back the
+        percentiles; it equals ``count`` until the cap is reached.
+        """
+        if self._count == 0:
+            out = ScalarSeries(name=self.name).summary()
+            out["observations_kept"] = 0.0
+            return out
+        out = ScalarSeries(name=self.name, values=list(self._kept)).summary()
+        out["count"] = float(self._count)
+        out["mean"] = self._sum / self._count
+        out["min"] = float(self._min)
+        out["max"] = float(self._max)
+        out["observations_kept"] = float(len(self._kept))
+        return out
 
 
 class _NullCounter:
@@ -115,7 +205,9 @@ class _NullHistogram:
         pass
 
     def summary(self) -> Dict[str, float]:
-        return ScalarSeries(name="null").summary()
+        out = ScalarSeries(name="null").summary()
+        out["observations_kept"] = 0.0
+        return out
 
 
 class MetricsRegistry:

@@ -1,0 +1,290 @@
+"""Cross-run regression sentinel over the run ledger.
+
+Given a candidate ledger entry and the historical entries sharing its
+``spec_key``, :func:`check_entry` compares every numeric metric the entry
+carries -- final training metrics, the virtual-clock wallclock, mean
+density, the per-phase simulated totals, traffic volume -- against the
+history's **robust** distribution:
+
+- the baseline centre is the *median* (one crashed or anomalous
+  historical run cannot drag the reference),
+- spread is the *median absolute deviation* scaled to sigma-equivalents
+  (``1.4826 * MAD``), yielding a robust z-score,
+- a metric regresses only when it is far in **both** senses: relative
+  deviation from the median beyond ``rel_threshold`` *and* a robust
+  z-score beyond ``z_threshold`` (with a zero-MAD history -- e.g. a
+  deterministic simulation re-run, or a single baseline entry -- the
+  relative threshold alone decides).
+
+Deviations in *either* direction are flagged: the ledger records a
+contract ("this spec behaves like this"), and a run suddenly twice as
+fast is as worth a look as one twice as slow.  Host-time fields
+(``host_seconds``) are never compared -- they are machine facts, not spec
+facts.
+
+:func:`diff_entries` is the two-run comparator behind ``repro compare``;
+:func:`entry_from_trace` lifts a Chrome trace-event JSON (the ``--trace``
+output) into a comparable pseudo-entry so two trace files diff the same
+way two ledger entries do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_REL_THRESHOLD",
+    "DEFAULT_Z_THRESHOLD",
+    "MetricVerdict",
+    "RegressionReport",
+    "check_entry",
+    "check_ledger",
+    "comparable_metrics",
+    "diff_entries",
+    "entry_from_trace",
+    "robust_z",
+]
+
+#: Robust z-score beyond which a deviation is anomalous.
+DEFAULT_Z_THRESHOLD = 4.0
+
+#: Relative deviation from the baseline median beyond which it matters.
+DEFAULT_REL_THRESHOLD = 0.05
+
+#: Consistency constant making the MAD estimate sigma for normal data.
+_MAD_TO_SIGMA = 1.4826
+
+
+# ---------------------------------------------------------------------- #
+def comparable_metrics(entry: Mapping[str, object]) -> Dict[str, float]:
+    """The flat numeric view of a ledger entry the sentinel compares.
+
+    ``metrics.*`` keep their names; simulated per-phase totals become
+    ``phase_totals.<phase>``; traffic volume and call count become
+    ``traffic.*``.  Non-numeric values are dropped.
+    """
+    out: Dict[str, float] = {}
+    for name, value in (entry.get("metrics") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[str(name)] = float(value)
+    for phase, value in (entry.get("phase_totals") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"phase_totals.{phase}"] = float(value)
+    traffic = entry.get("traffic") or {}
+    for name in ("total_sent_elements", "calls"):
+        value = traffic.get(name) if isinstance(traffic, Mapping) else None
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"traffic.{name}"] = float(value)
+    return out
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return float((ordered[mid - 1] + ordered[mid]) / 2.0)
+
+
+def robust_z(value: float, history: Sequence[float]) -> float:
+    """Robust z-score of ``value`` against ``history`` (median / MAD).
+
+    With zero spread (identical history, or a single entry) the score is
+    ``0`` for an exactly-matching value and ``inf`` otherwise -- the
+    relative threshold then decides whether the deviation matters.
+    """
+    if not history:
+        raise ValueError("robust_z needs a non-empty history")
+    centre = _median(history)
+    mad = _median([abs(v - centre) for v in history])
+    scale = _MAD_TO_SIGMA * mad
+    if scale == 0.0:
+        return 0.0 if value == centre else math.inf
+    return (value - centre) / scale
+
+
+@dataclass
+class MetricVerdict:
+    """One metric of one candidate entry, judged against its history."""
+
+    metric: str
+    value: float
+    baseline_median: float
+    #: Raw median absolute deviation of the history (0 when degenerate).
+    baseline_mad: float
+    n_history: int
+    #: Robust z-score (``inf`` when the history has zero spread).
+    z: float
+    #: Relative deviation from the baseline median (signed).
+    rel_delta: float
+    regressed: bool
+
+    def describe(self) -> str:
+        z_text = "inf" if math.isinf(self.z) else f"{self.z:+.2f}"
+        return (
+            f"{self.metric}: {self.value:.6g} vs median {self.baseline_median:.6g} "
+            f"(rel {self.rel_delta * 100:+.2f}%, z {z_text}, "
+            f"n={self.n_history})"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Every metric verdict for one candidate entry."""
+
+    spec_key: str
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+    n_history: int = 0
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [verdict for verdict in self.verdicts if verdict.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec_key": self.spec_key,
+            "n_history": self.n_history,
+            "ok": self.ok,
+            "regressions": [v.describe() for v in self.regressions],
+            "metrics_checked": len(self.verdicts),
+        }
+
+
+def check_entry(
+    entry: Mapping[str, object],
+    history: Sequence[Mapping[str, object]],
+    *,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    ignore: Iterable[str] = (),
+) -> RegressionReport:
+    """Judge one entry against the historical entries of the same spec.
+
+    Metrics present in the candidate but absent from every historical
+    entry are skipped (new instrumentation is not a regression), as are
+    names in ``ignore``.
+    """
+    report = RegressionReport(
+        spec_key=str(entry.get("spec_key", "")), n_history=len(history)
+    )
+    if not history:
+        return report
+    ignored = set(ignore)
+    candidate = comparable_metrics(entry)
+    historical = [comparable_metrics(h) for h in history]
+    for metric in sorted(candidate):
+        if metric in ignored:
+            continue
+        value = candidate[metric]
+        past = [h[metric] for h in historical if metric in h]
+        if not past:
+            continue
+        centre = _median(past)
+        mad = _median([abs(v - centre) for v in past])
+        z = robust_z(value, past)
+        rel = (value - centre) / max(abs(centre), 1e-12)
+        regressed = abs(rel) > rel_threshold and (
+            math.isinf(z) or abs(z) > z_threshold
+        )
+        report.verdicts.append(
+            MetricVerdict(
+                metric=metric,
+                value=value,
+                baseline_median=centre,
+                baseline_mad=mad,
+                n_history=len(past),
+                z=z,
+                rel_delta=rel,
+                regressed=regressed,
+            )
+        )
+    return report
+
+
+def check_ledger(
+    candidates: Mapping[str, Mapping[str, object]],
+    baseline: Mapping[str, Sequence[Mapping[str, object]]],
+    *,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    ignore: Iterable[str] = (),
+) -> List[RegressionReport]:
+    """Check the latest entry of every spec key against its baseline.
+
+    ``candidates`` maps ``spec_key`` to the entry under test; ``baseline``
+    maps ``spec_key`` to its history.  Keys without history yield an empty
+    report (``n_history == 0``) so callers can surface "new spec" rather
+    than silently passing or failing it.
+    """
+    reports = []
+    for spec_key in sorted(candidates):
+        reports.append(
+            check_entry(
+                candidates[spec_key],
+                list(baseline.get(spec_key, ())),
+                z_threshold=z_threshold,
+                rel_threshold=rel_threshold,
+                ignore=ignore,
+            )
+        )
+    return reports
+
+
+# ---------------------------------------------------------------------- #
+# Two-run (and two-trace) diffing.
+# ---------------------------------------------------------------------- #
+def diff_entries(
+    a: Mapping[str, object], b: Mapping[str, object]
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Per-metric comparison of two entries (``b`` relative to ``a``).
+
+    Returns ``{metric: {a, b, delta, rel}}`` over the union of both
+    entries' comparable metrics; a metric absent on one side carries
+    ``None`` for that side and for the deltas.
+    """
+    metrics_a = comparable_metrics(a)
+    metrics_b = comparable_metrics(b)
+    out: Dict[str, Dict[str, Optional[float]]] = {}
+    for metric in sorted(set(metrics_a) | set(metrics_b)):
+        va = metrics_a.get(metric)
+        vb = metrics_b.get(metric)
+        if va is None or vb is None:
+            out[metric] = {"a": va, "b": vb, "delta": None, "rel": None}
+            continue
+        out[metric] = {
+            "a": va,
+            "b": vb,
+            "delta": vb - va,
+            "rel": (vb - va) / max(abs(va), 1e-12),
+        }
+    return out
+
+
+def entry_from_trace(trace: Mapping[str, object]) -> Dict[str, object]:
+    """Lift a Chrome trace-event JSON into a comparable pseudo-entry.
+
+    The trace's ``otherData`` block (written by
+    :meth:`~repro.observability.SpanTracer.to_chrome_trace`) carries the
+    simulated per-phase totals and span count; those become the entry's
+    ``phase_totals`` and ``metrics`` so traces diff via
+    :func:`diff_entries` exactly like ledger entries.
+    """
+    other = trace.get("otherData") or {}
+    metrics: Dict[str, float] = {}
+    for name in ("n_spans", "n_workers", "estimated_wallclock"):
+        value = other.get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[name] = float(value)
+    return {
+        "spec_key": f"trace:{other.get('run_name', 'trace')}",
+        "kind": "trace",
+        "run_name": other.get("run_name"),
+        "metrics": metrics,
+        "phase_totals": dict(other.get("simulated_phase_totals") or {}),
+    }

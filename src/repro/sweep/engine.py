@@ -31,8 +31,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.api.result import RunResult
 from repro.api.session import Session
 from repro.api.spec import RunSpec
-from repro.observability import MetricsRegistry
-from repro.sweep.cache import ResultCache
+from repro.observability import MetricsRegistry, RunLedger
+from repro.sweep.cache import ResultCache, spec_key
 
 __all__ = ["CellOutcome", "SweepReport", "run_sweep"]
 
@@ -150,6 +150,7 @@ def run_sweep(
     session: Optional[Session] = None,
     progress: Optional[Callable[[CellOutcome], None]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> SweepReport:
     """Execute every spec, serving cache hits and dispatching the misses.
 
@@ -177,6 +178,13 @@ def run_sweep(
         instruments: cache hit/miss counters, per-cell settle-latency
         histograms labelled by source, and (under parallel dispatch) a
         queue-wait histogram of time cells spent submitted but not running.
+    ledger:
+        Optional :class:`~repro.observability.RunLedger`; every settled
+        cell appends exactly one entry, tagged with its outcome source
+        (``run`` / ``cache`` / ``error``), so the sweep's whole history is
+        queryable (``repro runs list``) and regression-checkable (``repro
+        check``) afterwards.  Appends happen in the parent process as
+        cells settle, so the ledger stays well-formed at any ``jobs``.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -205,6 +213,8 @@ def run_sweep(
                 metrics.histogram("sweep_cell_seconds", source="cache").observe(
                     outcome.seconds
                 )
+            if ledger is not None:
+                _ledger_cell(ledger, outcome)
             if progress:
                 progress(outcome)
         else:
@@ -216,16 +226,55 @@ def run_sweep(
         if jobs == 1:
             _run_serial(
                 report, misses, session=session, cache=cache, progress=progress,
-                metrics=metrics,
+                metrics=metrics, ledger=ledger,
             )
         else:
             _run_parallel(
                 report, misses, jobs=jobs, cache=cache, progress=progress,
-                metrics=metrics,
+                metrics=metrics, ledger=ledger,
             )
 
     report.seconds = time.perf_counter() - start
     return report
+
+
+def _ledger_cell(ledger: RunLedger, outcome: CellOutcome) -> None:
+    """Append one settled cell to the ledger, tagged by its source."""
+    cell_key = outcome.cache_key or spec_key(outcome.spec, assume_resolved=True)
+    if outcome.result is not None:
+        ledger.record(
+            outcome.result,
+            spec_key=cell_key,
+            source=outcome.source,
+            host_seconds=outcome.seconds,
+        )
+        return
+    # Errored cells leave a queryable trace too: same key, no metrics.
+    spec = outcome.spec
+    ledger.append(
+        {
+            "kind": "run",
+            "spec_key": cell_key,
+            "source": "error",
+            "run_name": spec.run_name,
+            "run": {
+                "workload": spec.workload,
+                "scale": spec.scale,
+                "seed": spec.seed,
+                "n_workers": spec.cluster.n_workers,
+                "sparsifier": spec.compression.sparsifier,
+                "aggregator": spec.robustness.aggregator,
+                "attack": spec.robustness.attack,
+                "execution": spec.execution.model,
+            },
+            "metrics": {},
+            "phase_totals": None,
+            "traffic": {},
+            "metrics_snapshot": None,
+            "host_seconds": float(outcome.seconds),
+            "error": outcome.error,
+        }
+    )
 
 
 def _settle(
@@ -237,6 +286,7 @@ def _settle(
     cache: Optional[ResultCache],
     progress: Optional[Callable[[CellOutcome], None]],
     metrics: Optional[MetricsRegistry] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> None:
     """Record one executed cell's outcome (shared by both dispatch paths)."""
     outcome = report.outcomes[index]
@@ -254,6 +304,8 @@ def _settle(
         metrics.histogram("sweep_cell_seconds", source=outcome.source).observe(
             outcome.seconds
         )
+    if ledger is not None:
+        _ledger_cell(ledger, outcome)
     if progress:
         progress(outcome)
 
@@ -266,6 +318,7 @@ def _run_serial(
     cache: Optional[ResultCache],
     progress: Optional[Callable[[CellOutcome], None]],
     metrics: Optional[MetricsRegistry] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> None:
     session = session if session is not None else Session()
     for index in misses:
@@ -273,10 +326,10 @@ def _run_serial(
         cell_start = time.perf_counter()
         try:
             result = session.run(spec)
-            _settle(report, index, "ok", result, time.perf_counter() - cell_start, cache, progress, metrics)
+            _settle(report, index, "ok", result, time.perf_counter() - cell_start, cache, progress, metrics, ledger)
         except Exception as exc:  # per-cell failure isolation
             message = f"{type(exc).__name__}: {exc}"
-            _settle(report, index, "error", message, time.perf_counter() - cell_start, cache, progress, metrics)
+            _settle(report, index, "error", message, time.perf_counter() - cell_start, cache, progress, metrics, ledger)
 
 
 def _run_parallel(
@@ -287,6 +340,7 @@ def _run_parallel(
     cache: Optional[ResultCache],
     progress: Optional[Callable[[CellOutcome], None]],
     metrics: Optional[MetricsRegistry] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> None:
     max_workers = min(int(jobs), len(misses))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
@@ -310,4 +364,4 @@ def _run_parallel(
                         0.0, (time.perf_counter() - submitted_at) - seconds
                     )
                     metrics.histogram("sweep_queue_wait_seconds").observe(queue_wait)
-                _settle(report, index, status, payload, seconds, cache, progress, metrics)
+                _settle(report, index, status, payload, seconds, cache, progress, metrics, ledger)

@@ -66,7 +66,7 @@ class ScalarSeries:
         return float(ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction)
 
     def summary(self) -> Dict[str, float]:
-        """Count/mean/min/max/p50/p95 of the series (zeros when empty).
+        """Count/mean/min/max/p50/p95/p99 of the series (zeros when empty).
 
         This is the shape the observability metrics snapshot reports for
         every histogram, so series and run metrics summarise identically.
@@ -78,6 +78,7 @@ class ScalarSeries:
             "max": self.max(),
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
         }
 
     def __len__(self) -> int:

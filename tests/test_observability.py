@@ -124,6 +124,48 @@ class TestMetricsRegistry:
         registry.histogram("h").observe(1.0)
         assert json.loads(json.dumps(registry.snapshot())) == registry.snapshot()
 
+    def test_histogram_memory_bounded_by_reservoir(self):
+        histogram = MetricsRegistry().histogram("latency")
+        n = histogram.DEFAULT_MAX_OBSERVATIONS * 3
+        for value in range(n):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        # Exact aggregates survive the bound; the sample set does not grow.
+        assert summary["count"] == n
+        assert summary["min"] == 0.0
+        assert summary["max"] == float(n - 1)
+        assert summary["mean"] == pytest.approx((n - 1) / 2.0)
+        assert summary["observations_kept"] == histogram.DEFAULT_MAX_OBSERVATIONS
+        assert len(histogram.values) == histogram.DEFAULT_MAX_OBSERVATIONS
+        # Reservoir quantiles stay representative of the uniform stream.
+        assert summary["p50"] == pytest.approx(n / 2.0, rel=0.15)
+
+    def test_histogram_below_cap_is_exact(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["observations_kept"] == 4
+        assert summary["p50"] == 2.5
+
+    def test_histogram_reservoir_deterministic_per_name(self):
+        a = MetricsRegistry().histogram("latency", op="push")
+        b = MetricsRegistry().histogram("latency", op="push")
+        for value in range(10_000):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert a.values == b.values
+        assert a.summary() == b.summary()
+
+    def test_histogram_custom_cap(self):
+        from repro.observability.metrics import Histogram
+
+        histogram = Histogram("h", max_observations=16)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert len(histogram.values) == 16
+        assert histogram.summary()["count"] == 100
+
     def test_null_registry_absorbs_everything(self):
         assert NULL_METRICS.enabled is False
         NULL_METRICS.counter("anything", label="x").inc(5.0)

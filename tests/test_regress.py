@@ -1,0 +1,263 @@
+"""Tests for the cross-run regression sentinel and its CLI surface."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import RunSpec, Session
+from repro.cli import main
+from repro.observability import RunLedger
+from repro.observability import regress
+
+
+def entry(loss=1.0, wallclock=2.0, spec_key="k" * 16, **extra):
+    base = {
+        "spec_key": spec_key,
+        "kind": "run",
+        "source": "run",
+        "metrics": {"loss": loss, "estimated_wallclock": wallclock},
+        "phase_totals": {"compute": 1.5, "collective": 0.5},
+        "traffic": {"total_sent_elements": 100, "calls": 10},
+    }
+    base.update(extra)
+    return base
+
+
+def tiny_spec(**overrides) -> RunSpec:
+    base = {
+        "workload": "lm",
+        "cluster": {"n_workers": 2},
+        "optimizer": {"epochs": 1, "max_iterations_per_epoch": 2},
+        "compression": {"sparsifier": "deft", "density": 0.05},
+    }
+    data = dict(base)
+    data.update(overrides)
+    return RunSpec.from_dict(data)
+
+
+# ---------------------------------------------------------------------- #
+class TestComparableMetrics:
+    def test_flattens_every_numeric_surface(self):
+        flat = regress.comparable_metrics(entry())
+        assert flat["loss"] == 1.0
+        assert flat["phase_totals.compute"] == 1.5
+        assert flat["traffic.total_sent_elements"] == 100.0
+        assert flat["traffic.calls"] == 10.0
+
+    def test_drops_non_numeric_and_booleans(self):
+        e = entry()
+        e["metrics"]["name"] = "text"
+        e["metrics"]["flag"] = True
+        flat = regress.comparable_metrics(e)
+        assert "name" not in flat
+        assert "flag" not in flat
+
+    def test_host_seconds_never_compared(self):
+        e = entry(host_seconds=123.0)
+        assert "host_seconds" not in regress.comparable_metrics(e)
+
+    def test_empty_entry(self):
+        assert regress.comparable_metrics({"spec_key": "x"}) == {}
+
+
+class TestRobustZ:
+    def test_zero_for_matching_degenerate_history(self):
+        assert regress.robust_z(5.0, [5.0, 5.0, 5.0]) == 0.0
+
+    def test_inf_for_mismatching_degenerate_history(self):
+        assert math.isinf(regress.robust_z(6.0, [5.0, 5.0, 5.0]))
+
+    def test_scales_with_mad(self):
+        history = [10.0, 11.0, 9.0, 10.5, 9.5]
+        z_small = regress.robust_z(10.6, history)
+        z_large = regress.robust_z(20.0, history)
+        assert abs(z_small) < abs(z_large)
+        assert z_large > 0
+        assert regress.robust_z(5.0, history) < 0
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            regress.robust_z(1.0, [])
+
+
+class TestCheckEntry:
+    def test_identical_rerun_passes(self):
+        report = regress.check_entry(entry(), [entry(), entry()])
+        assert report.ok
+        assert report.regressions == []
+        assert len(report.verdicts) > 0
+
+    def test_perturbed_metric_fails(self):
+        report = regress.check_entry(entry(loss=1.5), [entry(), entry()])
+        assert not report.ok
+        assert [v.metric for v in report.regressions] == ["loss"]
+        verdict = report.regressions[0]
+        assert verdict.rel_delta == pytest.approx(0.5)
+        assert math.isinf(verdict.z)
+        assert "loss" in verdict.describe()
+
+    def test_improvement_also_flagged(self):
+        report = regress.check_entry(entry(wallclock=1.0), [entry(), entry()])
+        assert [v.metric for v in report.regressions] == ["estimated_wallclock"]
+        assert report.regressions[0].rel_delta < 0
+
+    def test_small_deviation_within_rel_threshold_passes(self):
+        report = regress.check_entry(entry(loss=1.04), [entry(), entry()])
+        assert report.ok
+
+    def test_noisy_history_requires_z_excursion(self):
+        history = [entry(loss=value) for value in (0.9, 1.0, 1.1, 0.95, 1.05)]
+        # 8% off the median but within the spread's z-threshold: passes.
+        assert regress.check_entry(entry(loss=1.08), history).ok
+        # Far outside both thresholds: fails.
+        report = regress.check_entry(entry(loss=3.0), history)
+        assert not report.ok
+
+    def test_empty_history_is_ok_with_zero_n(self):
+        report = regress.check_entry(entry(), [])
+        assert report.ok
+        assert report.n_history == 0
+        assert report.verdicts == []
+
+    def test_new_metric_in_candidate_skipped(self):
+        candidate = entry()
+        candidate["metrics"]["brand_new"] = 42.0
+        report = regress.check_entry(candidate, [entry()])
+        assert report.ok
+
+    def test_ignore_list_respected(self):
+        report = regress.check_entry(
+            entry(loss=9.0), [entry()], ignore=("loss",)
+        )
+        assert report.ok
+
+    def test_to_dict_names_regressions(self):
+        payload = regress.check_entry(entry(loss=2.0), [entry()]).to_dict()
+        assert payload["ok"] is False
+        assert any("loss" in text for text in payload["regressions"])
+
+
+class TestCheckLedger:
+    def test_checks_every_candidate(self):
+        candidates = {"a": entry(spec_key="a"), "b": entry(spec_key="b", loss=5.0)}
+        baseline = {"a": [entry(spec_key="a")], "b": [entry(spec_key="b")]}
+        reports = regress.check_ledger(candidates, baseline)
+        by_key = {r.spec_key: r for r in reports}
+        assert by_key["a"].ok
+        assert not by_key["b"].ok
+
+    def test_missing_baseline_yields_empty_report(self):
+        reports = regress.check_ledger({"a": entry(spec_key="a")}, {})
+        assert reports[0].n_history == 0
+        assert reports[0].ok
+
+
+class TestDiff:
+    def test_diff_entries(self):
+        diff = regress.diff_entries(entry(), entry(loss=2.0))
+        assert diff["loss"]["delta"] == pytest.approx(1.0)
+        assert diff["loss"]["rel"] == pytest.approx(1.0)
+        assert diff["estimated_wallclock"]["delta"] == 0.0
+
+    def test_one_sided_metrics_carry_none(self):
+        a = entry()
+        b = entry()
+        del b["metrics"]["loss"]
+        diff = regress.diff_entries(a, b)
+        assert diff["loss"]["b"] is None
+        assert diff["loss"]["delta"] is None
+
+    def test_trace_entries_diff_like_ledger_entries(self):
+        spec = tiny_spec(observability={"trace": True})
+        result = Session().run(spec)
+        trace = result.observability["trace"]
+        pseudo = regress.entry_from_trace(trace)
+        assert pseudo["spec_key"].startswith("trace:")
+        assert pseudo["metrics"]["estimated_wallclock"] == pytest.approx(
+            result.estimated_wallclock
+        )
+        diff = regress.diff_entries(pseudo, pseudo)
+        assert diff["phase_totals.compute"]["delta"] == 0.0
+
+
+# ---------------------------------------------------------------------- #
+class TestCliExitCodes:
+    def _ledgered_run(self, tmp_path, n=2):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        session = Session(ledger=ledger)
+        for _ in range(n):
+            session.run(tiny_spec())
+        return path
+
+    def test_check_identical_reruns_exit_zero(self, tmp_path, capsys):
+        path = self._ledgered_run(tmp_path)
+        assert main(["check", "--ledger", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_perturbed_exits_nonzero(self, tmp_path, capsys):
+        path = self._ledgered_run(tmp_path)
+        perturbed = json.loads(path.read_text().splitlines()[-1])
+        perturbed["metrics"]["loss"] *= 2.0
+        RunLedger(path).append(perturbed)
+        assert main(["check", "--ledger", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "loss" in out
+
+    def test_check_missing_ledger_exits_two(self, tmp_path, capsys):
+        assert main(["check", "--ledger", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_check_against_baseline_file(self, tmp_path, capsys):
+        baseline = self._ledgered_run(tmp_path, n=1)
+        candidate = tmp_path / "candidate.jsonl"
+        Session(ledger=RunLedger(candidate)).run(tiny_spec())
+        assert main([
+            "check", "--ledger", str(candidate), "--baseline", str(baseline),
+        ]) == 0
+
+    def test_check_new_spec_passes_and_reported(self, tmp_path, capsys):
+        path = self._ledgered_run(tmp_path, n=1)
+        assert main(["check", "--ledger", str(path)]) == 0
+        assert "new" in capsys.readouterr().out
+
+    def test_check_json_output(self, tmp_path, capsys):
+        path = self._ledgered_run(tmp_path)
+        assert main(["check", "--ledger", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["ok"] is True
+
+    def test_runs_list_and_show(self, tmp_path, capsys):
+        path = self._ledgered_run(tmp_path)
+        assert main(["runs", "list", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries, 1 spec keys" in out
+        key = json.loads(path.read_text().splitlines()[0])["spec_key"]
+        assert main(["runs", "show", key[:12], "--ledger", str(path)]) == 0
+        assert "loss" in capsys.readouterr().out
+
+    def test_runs_show_unknown_key_exits_two(self, tmp_path, capsys):
+        path = self._ledgered_run(tmp_path, n=1)
+        assert main(["runs", "show", "zzzz", "--ledger", str(path)]) == 2
+
+    def test_compare_ledger_refs(self, tmp_path, capsys):
+        path = self._ledgered_run(tmp_path)
+        key = json.loads(path.read_text().splitlines()[0])["spec_key"][:8]
+        assert main([
+            "compare", f"{key}:0", f"{key}:-1", "--ledger", str(path),
+        ]) == 0
+        assert "loss" in capsys.readouterr().out
+
+    def test_compare_trace_files(self, tmp_path, capsys):
+        spec = tiny_spec(observability={"trace": True})
+        trace = Session().run(spec).observability["trace"]
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace))
+        assert main(["compare", str(path), str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diff"]["phase_totals.compute"]["delta"] == 0.0
+
+    def test_compare_unknown_ref_exits_two(self, tmp_path, capsys):
+        path = self._ledgered_run(tmp_path, n=1)
+        assert main(["compare", "aaaa", "bbbb", "--ledger", str(path)]) == 2

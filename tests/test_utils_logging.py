@@ -69,13 +69,14 @@ class TestScalarSeries:
             "max": 3.0,
             "p50": 2.0,
             "p95": series.percentile(95),
+            "p99": series.percentile(99),
         }
 
     def test_summary_empty_series(self):
         summary = ScalarSeries("empty").summary()
         assert summary == {
             "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
-            "p50": 0.0, "p95": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
         }
 
     def test_summary_single_element(self):
@@ -84,7 +85,15 @@ class TestScalarSeries:
         summary = series.summary()
         assert summary["count"] == 1
         assert summary["mean"] == summary["min"] == summary["max"] == 5.0
-        assert summary["p50"] == summary["p95"] == 5.0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 5.0
+
+    def test_summary_p99_between_p95_and_max(self):
+        series = ScalarSeries("tail")
+        for step in range(100):
+            series.append(step, float(step))
+        summary = series.summary()
+        assert summary["p95"] <= summary["p99"] <= summary["max"]
+        assert summary["p99"] == series.percentile(99)
 
 
 class TestRunLogger:
