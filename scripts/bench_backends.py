@@ -1,0 +1,206 @@
+"""Guard benchmark of the execution backends: agreement and throughput.
+
+Runs one identical training spec on every registered backend, per
+execution schedule, and asserts the contract the multiprocess backend
+makes:
+
+1. **lock-step bit-identity** -- synchronous / local_sgd / gossip runs
+   produce byte-identical final metrics, loss series and traffic
+   summaries on every backend, and
+2. **async agreement** -- async_bsp's virtual-clock asynchrony is
+   deterministic, so its metrics agree to floating-point identity too.
+
+Throughput (seconds per iteration) is reported per backend and stamped
+with ``os.cpu_count()``.  A speedup assertion (multiprocess >= 1.5x the
+simulated backend at ``--procs 4``) only arms when the host actually has
+4+ cores; on smaller hosts the benchmark is an agreement guard and the
+numbers are informational.
+
+Emits ``BENCH_backends.json``::
+
+    PYTHONPATH=src python scripts/bench_backends.py
+    PYTHONPATH=src python scripts/bench_backends.py --procs 4 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.api import RunSpec, Session
+from repro.api.spec import ClusterSpec, ExecutionSpec, OptimizerSpec
+
+LOCKSTEP_MODELS = ("synchronous", "local_sgd", "gossip")
+ASYNC_MODELS = ("async_bsp",)
+
+#: Required multiprocess speedup over simulated at --procs 4, enforced
+#: only when the host has >= SPEEDUP_MIN_CPUS cores.
+SPEEDUP_FLOOR = 1.5
+SPEEDUP_MIN_CPUS = 4
+
+
+def build_spec(args, model: str, backend: str) -> RunSpec:
+    return RunSpec(
+        workload=args.workload,
+        scale="smoke",
+        seed=args.seed,
+        cluster=ClusterSpec(n_workers=args.workers),
+        optimizer=OptimizerSpec(
+            epochs=args.epochs,
+            max_iterations_per_epoch=args.max_iterations_per_epoch,
+        ),
+        execution=ExecutionSpec(
+            model=model,
+            backend=backend,
+            procs=args.procs if backend == "multiprocess" else None,
+        ),
+    )
+
+
+def fingerprint(result) -> dict:
+    return {
+        "final_metrics": dict(result.final_metrics),
+        "loss_series": list(result.series("loss").values),
+        "estimated_wallclock": result.estimated_wallclock,
+        "traffic": result.traffic,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="lm")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--max-iterations-per-epoch", type=int, default=8)
+    parser.add_argument("--procs", type=int, default=None,
+                        help="multiprocess worker-process count "
+                             "(default: min(workers, cpu_count))")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per (schedule, backend); "
+                             "the median is reported")
+    parser.add_argument("--out", default="BENCH_backends.json")
+    parser.add_argument("--ledger", nargs="?", const="", default=None,
+                        metavar="LEDGER.jsonl",
+                        help="append a kind=bench entry to the run ledger "
+                             "(bare flag: the default ledger location)")
+    args = parser.parse_args(argv)
+
+    from repro.backends import available_backends
+
+    backends = available_backends()
+    cpu_count = os.cpu_count() or 1
+    models = LOCKSTEP_MODELS + ASYNC_MODELS
+    print(f"backends: {backends}, cpu_count={cpu_count}, "
+          f"workers={args.workers}, procs={args.procs or 'auto'}")
+
+    seconds: dict = {}
+    agreement: dict = {}
+    iterations = 0
+    with Session() as session:
+        # Warm the dataset cache so the first timed run is not charged
+        # for one-time setup.
+        session.run(build_spec(args, "synchronous", "simulated"))
+        for model in models:
+            prints = {}
+            seconds[model] = {}
+            for backend in backends:
+                spec = build_spec(args, model, backend)
+                samples = []
+                for _ in range(args.repeats):
+                    start = time.perf_counter()
+                    result = session.run(spec)
+                    samples.append(time.perf_counter() - start)
+                seconds[model][backend] = statistics.median(samples)
+                prints[backend] = fingerprint(result)
+                iterations = result.iterations_run
+            oracle = prints["simulated"]
+            agreement[model] = all(prints[b] == oracle for b in backends)
+            per_iter = {b: s / max(1, iterations)
+                        for b, s in seconds[model].items()}
+            shown = ", ".join(f"{b}={per_iter[b] * 1e3:.1f}ms/iter"
+                              for b in backends)
+            print(f"  {model:<12} {shown}  "
+                  f"agreement={'ok' if agreement[model] else 'MISMATCH'}")
+
+    # Guard 1: lock-step schedules must be bit-identical across backends;
+    # async_bsp's virtual clock makes it deterministic too.
+    mismatched = sorted(m for m, ok in agreement.items() if not ok)
+    if mismatched:
+        raise SystemExit(f"backends disagree on: {mismatched}")
+    print("agreement: all backends bit-identical to the simulated oracle")
+
+    # Guard 2: real parallelism must pay off -- but only where it can.
+    speedups = {
+        model: seconds[model]["simulated"] / seconds[model]["multiprocess"]
+        for model in models
+        if "multiprocess" in seconds[model]
+    }
+    speedup_enforced = bool(
+        args.procs and args.procs >= 4 and cpu_count >= SPEEDUP_MIN_CPUS
+    )
+    if speedup_enforced:
+        worst = min(speedups, key=speedups.get)
+        if speedups[worst] < SPEEDUP_FLOOR:
+            raise SystemExit(
+                f"multiprocess speedup {speedups[worst]:.2f}x on {worst} "
+                f"is below the {SPEEDUP_FLOOR}x floor "
+                f"(procs={args.procs}, cpu_count={cpu_count})"
+            )
+        print(f"speedup floor {SPEEDUP_FLOOR}x satisfied "
+              f"(worst: {speedups[worst]:.2f}x on {worst})")
+    else:
+        print(f"speedup floor not enforced "
+              f"(procs={args.procs or 'auto'}, cpu_count={cpu_count}; "
+              f"needs procs>=4 and cpu_count>={SPEEDUP_MIN_CPUS})")
+
+    payload = {
+        "benchmark": "backends",
+        "workload": args.workload,
+        "workers": args.workers,
+        "procs": args.procs,
+        "cpu_count": cpu_count,
+        "iterations": iterations,
+        "repeats": args.repeats,
+        "seconds": seconds,
+        "seconds_per_iteration": {
+            model: {b: s / max(1, iterations) for b, s in per_backend.items()}
+            for model, per_backend in seconds.items()
+        },
+        "speedup_multiprocess_vs_simulated": speedups,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_enforced": speedup_enforced,
+        "agreement": agreement,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    if args.ledger is not None:
+        from repro.observability import RunLedger
+
+        ledger = RunLedger(args.ledger or None)
+        # Host-dependent throughput numbers: kind="bench" keeps them out of
+        # `repro check` unless --include-bench asks for them.
+        ledger.append({
+            "kind": "bench",
+            "spec_key": "bench:backends",
+            "source": "bench",
+            "run_name": "bench_backends",
+            "metrics": {
+                **{f"seconds_{model}_{backend}": s
+                   for model, per_backend in seconds.items()
+                   for backend, s in per_backend.items()},
+                **{f"speedup_{model}": s for model, s in speedups.items()},
+                "cpu_count": float(cpu_count),
+            },
+        })
+        print(f"ledger: appended bench entry to {ledger.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -117,6 +117,8 @@ def main(argv=None) -> int:
         "scale": args.scale,
         "cells": n_cells,
         "jobs": args.jobs,
+        "effective_jobs": parallel.effective_jobs,
+        "clamp_reason": parallel.clamp_reason,
         "cpu_count": os.cpu_count(),
         "serial": {"seconds": serial_s, "cells_per_second": n_cells / serial_s},
         "parallel": {"seconds": parallel_s, "cells_per_second": n_cells / parallel_s},

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.api.result import RunResult
@@ -61,6 +62,43 @@ class Session:
         #: Optional :class:`~repro.observability.RunLedger`; when set,
         #: every completed :meth:`run` appends one entry to it.
         self.ledger = ledger
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_jobs = 0
+
+    # ------------------------------------------------------------------ #
+    def executor(self, jobs: int) -> ProcessPoolExecutor:
+        """A process pool of ``jobs`` workers, persistent across calls.
+
+        The pool (and the warm worker processes in it, each holding its own
+        task cache) is reused by every ``run_sweep`` dispatched through
+        this Session; asking for a different size tears the old pool down
+        and builds a fresh one.  :meth:`close` releases it.
+        """
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if self._pool is not None and self._pool_jobs != jobs:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=jobs)
+            self._pool_jobs = jobs
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent); the Session stays usable
+        -- the next :meth:`executor` call just builds a fresh pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_jobs = 0
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ #
     def task_for(self, workload: str, scale: str = "smoke", seed: int = 0) -> Task:

@@ -124,6 +124,13 @@ class ExecutionSpec:
     local_steps: int = 4
     #: Bounded-staleness window of the async schedule (0 = lock step).
     max_staleness: int = 4
+    #: Collective backend executing the run: "simulated" (in-process
+    #: oracle) or "multiprocess" (real OS processes over shared memory).
+    #: Lock-step schedules are bit-identical across backends.
+    backend: str = "simulated"
+    #: Worker-process count for the multiprocess backend; None picks
+    #: ``min(n_workers, os.cpu_count())``.  Ignored by "simulated".
+    procs: Optional[int] = None
     #: Extra execution-model constructor arguments (schema-validated).
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
@@ -226,6 +233,17 @@ class RunSpec:
                 f"unknown straggler profile {self.cluster.straggler_profile!r}; "
                 f"available: {list(STRAGGLER_PROFILES)}"
             )
+        from repro.plugins import available_components, get_component
+
+        try:
+            get_component("backend", self.execution.backend)
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {self.execution.backend!r}; "
+                f"available: {available_components('backend')}"
+            ) from None
+        if self.execution.procs is not None and self.execution.procs < 1:
+            raise ValueError(f"procs must be >= 1, got {self.execution.procs}")
         validate_run_combination(
             execution=self.execution.model,
             aggregator=(
@@ -277,6 +295,8 @@ class RunSpec:
             base_compute_seconds=self.cluster.base_compute_seconds,
             topology=self.cluster.topology,
             server_rank=self.cluster.server_rank,
+            backend=self.execution.backend,
+            procs=self.execution.procs,
             observability=replace(self.observability),
         )
 
@@ -338,7 +358,10 @@ class RunSpec:
             "--execution", spec.execution.model,
             "--local-steps", str(spec.execution.local_steps),
             "--max-staleness", str(spec.execution.max_staleness),
+            "--backend", spec.execution.backend,
         ]
+        if spec.execution.procs is not None:
+            argv += ["--procs", str(spec.execution.procs)]
         if spec.cluster.topology is not None:
             argv += ["--topology", spec.cluster.topology]
         if spec.cluster.server_rank is not None:

@@ -1,0 +1,98 @@
+"""Execution-backend registrations over the unified plugin registry.
+
+Backends are the transport under an execution schedule: the *simulated*
+backend runs every rank in-process in lock step (the deterministic
+oracle), the *multiprocess* backend runs real OS worker processes over
+shared-memory arenas.  Declaring them as ComponentSpec entries of kind
+``"backend"`` makes ``repro list`` / ``repro describe backend/<name>``
+document them and gives the CLI its ``--backend`` choices.
+
+Capability flags:
+
+- ``real_processes``: ranks map onto real OS processes.
+- ``deterministic_oracle``: bit-exact reference for lock-step schedules.
+- ``compute_offload``: can evaluate forward/backward on its workers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.comm.simulated import SimulatedBackend
+from repro.comm.traffic import TrafficMeter
+from repro.plugins import ComponentSpec, Kwarg, available_components, register_component
+
+__all__ = ["build_backend_component", "available_backends", "KIND"]
+
+KIND = "backend"
+
+
+def _build_simulated(
+    n_workers: int, meter: Optional[TrafficMeter] = None, procs: Optional[int] = None
+) -> SimulatedBackend:
+    # ``procs`` is accepted for interface symmetry; the simulated backend
+    # is single-process by definition.
+    return SimulatedBackend(n_workers, meter=meter)
+
+
+def _build_multiprocess(
+    n_workers: int, meter: Optional[TrafficMeter] = None, procs: Optional[int] = None
+):
+    from repro.backends.multiprocess import MultiprocessBackend
+
+    return MultiprocessBackend(n_workers, meter=meter, procs=procs)
+
+
+def _register(name, builder, description, kwargs=(), **capabilities):
+    register_component(
+        ComponentSpec(
+            kind=KIND,
+            name=name,
+            builder=builder,
+            description=description,
+            kwargs=tuple(kwargs),
+            capabilities={
+                "real_processes": False,
+                "deterministic_oracle": False,
+                "compute_offload": False,
+                **capabilities,
+            },
+        )
+    )
+
+
+_register(
+    "simulated",
+    _build_simulated,
+    "in-process lock-step workers over a virtual clock (the deterministic "
+    "oracle, default)",
+    deterministic_oracle=True,
+)
+_register(
+    "multiprocess",
+    _build_multiprocess,
+    "real OS worker processes exchanging tensors through shared-memory "
+    "arenas (bit-identical to simulated on lock-step schedules)",
+    kwargs=(
+        Kwarg("procs", "int", None, "worker processes (default: min(n_workers, cpu_count))"),
+    ),
+    real_processes=True,
+    compute_offload=True,
+)
+
+
+def build_backend_component(
+    name: str,
+    n_workers: int,
+    meter: Optional[TrafficMeter] = None,
+    procs: Optional[int] = None,
+):
+    """Instantiate a backend by registry name for ``n_workers`` ranks."""
+    from repro.plugins import build_component
+
+    return build_component(KIND, name, n_workers, meter=meter, procs=procs)
+
+
+def available_backends() -> List[str]:
+    """Sorted list of registered backend names."""
+    return available_components(KIND)

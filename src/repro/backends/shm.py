@@ -1,0 +1,263 @@
+"""Shared-memory primitives of the multi-process backend.
+
+Three building blocks, all laid out over named POSIX shared-memory
+segments (``multiprocessing.shared_memory``) so real worker *processes*
+exchange tensors without pickling:
+
+- :class:`SharedArena` -- one segment viewed as a numpy array.  The
+  parent creates every arena *before* forking; children inherit the
+  mapping through fork and never attach by name, so exactly one process
+  (the creator) owns the segment's lifetime and unlinks it.  Segment
+  names carry a ``repro-mp-<pid>-<token>`` prefix, which is what the
+  leak guards (test fixture + CI step) grep for under ``/dev/shm``.
+- :class:`ControlBlock` -- a struct-packed command header plus per-process
+  acknowledgement slots, driven as a *seqlock*: the parent writes the
+  command fields first and the sequence number last; workers double-read
+  the sequence around the fields and retry on a torn read.  The parent
+  never publishes command ``n+1`` until every worker acknowledged ``n``,
+  so the fields a worker reads under a stable sequence are final.
+- :class:`MailboxRing` -- one bounded ring of ``(kind, peer, payload,
+  tag)`` records per endpoint (each worker rank plus the parameter
+  server).  Writers drop the *oldest* record when a ring is full --
+  bounded-staleness semantics for the async push/pull traffic, never an
+  unbounded queue.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import struct
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedArena",
+    "ControlBlock",
+    "MailboxRing",
+    "OP_NONE",
+    "OP_REDUCE",
+    "OP_BARRIER",
+    "OP_SHUTDOWN",
+    "list_repro_segments",
+]
+
+#: Prefix of every segment this package creates; the leak guards look for
+#: ``/dev/shm/<SEGMENT_PREFIX>-*`` after tests and fail on leftovers.
+SEGMENT_PREFIX = "repro-mp"
+
+# Command opcodes of the control block.
+OP_NONE = 0
+OP_REDUCE = 1
+OP_BARRIER = 2
+OP_SHUTDOWN = 3
+
+#: Header layout: seq, opcode, rows, cols, rop, buf_index, aux, pad.
+HEADER_FORMAT = "<8q"
+HEADER_FIELDS = 8
+
+
+def list_repro_segments() -> List[str]:
+    """Names of live ``repro-mp`` segments on this host (Linux: /dev/shm)."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return sorted(
+        name for name in os.listdir(shm_dir) if name.startswith(SEGMENT_PREFIX + "-")
+    )
+
+
+class SharedArena:
+    """One named shared-memory segment viewed as a numpy array.
+
+    Created only by the parent; forked children reuse the inherited
+    object (same mapping, same virtual address space copy) and must never
+    close or unlink it -- both are guarded on the creator's pid.
+    """
+
+    def __init__(self, label: str, shape: Tuple[int, ...], dtype=np.float64) -> None:
+        self.label = str(label)
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
+        self.name = (
+            f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}-{self.label}"
+        )
+        self._shm = shared_memory.SharedMemory(name=self.name, create=True, size=nbytes)
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+        self.array.fill(0)
+
+    @property
+    def owned(self) -> bool:
+        return os.getpid() == self._owner_pid
+
+    def close(self) -> None:
+        """Release the mapping and (in the creating process) unlink it."""
+        if self._closed or not self.owned:
+            return
+        self._closed = True
+        # Drop the numpy view first: SharedMemory.close() refuses to
+        # release a buffer that still has exported views.
+        self.array = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform quirks
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ControlBlock:
+    """Seqlock-protocol command header over a shared int64 array.
+
+    Layout of the backing vector::
+
+        [0:8]                       header (seq, opcode, rows, cols, rop,
+                                    buf_index, aux, pad)
+        [8 : 8+n_procs]             per-process ack slots (last acked seq)
+        [8+n_procs : 8+2*n_procs]   per-process error flags
+        [... : ... + 2*n_rings]     mailbox head/tail counters
+    """
+
+    def __init__(self, vector: np.ndarray, n_procs: int, n_rings: int) -> None:
+        if vector.dtype != np.int64 or vector.ndim != 1:
+            raise ValueError("ControlBlock needs a flat int64 vector")
+        need = HEADER_FIELDS + 2 * n_procs + 2 * n_rings
+        if vector.shape[0] < need:
+            raise ValueError(f"control vector too small: {vector.shape[0]} < {need}")
+        self.n_procs = int(n_procs)
+        self.n_rings = int(n_rings)
+        self._vec = vector
+        self.header = vector[:HEADER_FIELDS]
+        self.acks = vector[HEADER_FIELDS : HEADER_FIELDS + n_procs]
+        self.errors = vector[HEADER_FIELDS + n_procs : HEADER_FIELDS + 2 * n_procs]
+        base = HEADER_FIELDS + 2 * n_procs
+        self.heads = vector[base : base + n_rings]
+        self.tails = vector[base + n_rings : base + 2 * n_rings]
+
+    @classmethod
+    def size_for(cls, n_procs: int, n_rings: int) -> int:
+        return HEADER_FIELDS + 2 * int(n_procs) + 2 * int(n_rings)
+
+    # -- parent side ---------------------------------------------------- #
+    @property
+    def seq(self) -> int:
+        return int(self.header[0])
+
+    def publish(
+        self,
+        opcode: int,
+        rows: int = 0,
+        cols: int = 0,
+        rop: int = 0,
+        buf_index: int = 0,
+        aux: int = 0,
+    ) -> int:
+        """Write a command's fields, then its sequence number, last."""
+        seq = int(self.header[0]) + 1
+        self.header[1] = int(opcode)
+        self.header[2] = int(rows)
+        self.header[3] = int(cols)
+        self.header[4] = int(rop)
+        self.header[5] = int(buf_index)
+        self.header[6] = int(aux)
+        # The seq store is the linearisation point: workers only act on
+        # fields observed under a stable (double-read) sequence.
+        self.header[0] = seq
+        return seq
+
+    def acked(self, seq: int) -> bool:
+        return bool((self.acks == int(seq)).all())
+
+    def pack_header(self) -> bytes:
+        """The header as its canonical struct-packed bytes (diagnostics)."""
+        return struct.pack(HEADER_FORMAT, *(int(v) for v in self.header))
+
+    # -- worker side ---------------------------------------------------- #
+    def read_command(self, last_seq: int) -> Optional[Tuple[int, int, int, int, int, int]]:
+        """``(seq, opcode, rows, cols, rop, buf_index)`` of a new command.
+
+        Returns ``None`` when no new command is published *or* the read
+        was torn (sequence changed while copying the fields) -- callers
+        simply poll again.
+        """
+        s1 = int(self.header[0])
+        if s1 == int(last_seq):
+            return None
+        fields = tuple(int(v) for v in self.header[1:6])
+        s2 = int(self.header[0])
+        if s1 != s2:
+            return None
+        return (s1,) + fields
+
+    def ack(self, proc_index: int, seq: int) -> None:
+        self.acks[proc_index] = int(seq)
+
+    def flag_error(self, proc_index: int, code: int = 1) -> None:
+        self.errors[proc_index] = int(code)
+
+
+class MailboxRing:
+    """Bounded per-endpoint rings of ``(kind, peer, payload, tag)`` records.
+
+    ``records`` is a shared ``(n_rings, capacity, 4)`` int64 array; the
+    head/tail counters live in the :class:`ControlBlock` so a single
+    control segment carries all coordination state.  ``append`` drops the
+    oldest record when a ring is full (bounded staleness), never blocks.
+    """
+
+    RECORD_FIELDS = 4
+
+    def __init__(self, records: np.ndarray, ctrl: ControlBlock) -> None:
+        if records.ndim != 3 or records.shape[2] != self.RECORD_FIELDS:
+            raise ValueError(f"expected (n_rings, capacity, 4) records, got {records.shape}")
+        if records.shape[0] != ctrl.n_rings:
+            raise ValueError("ring count does not match the control block")
+        self.records = records
+        self.capacity = int(records.shape[1])
+        self._ctrl = ctrl
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return int((self._ctrl.tails - self._ctrl.heads).sum())
+
+    def pending(self, ring: int) -> int:
+        return int(self._ctrl.tails[ring] - self._ctrl.heads[ring])
+
+    def append(self, ring: int, kind: int, peer: int, payload: int, tag: int = 0) -> None:
+        head = int(self._ctrl.heads[ring])
+        tail = int(self._ctrl.tails[ring])
+        if tail - head >= self.capacity:
+            # Ring full: advance the head past the oldest record.
+            self._ctrl.heads[ring] = head + 1
+            self.dropped += 1
+        slot = tail % self.capacity
+        self.records[ring, slot, 0] = int(kind)
+        self.records[ring, slot, 1] = int(peer)
+        self.records[ring, slot, 2] = int(payload)
+        self.records[ring, slot, 3] = int(tag)
+        self._ctrl.tails[ring] = tail + 1
+
+    def drain(self, ring: int) -> List[Tuple[int, int, int, int]]:
+        """Pop every pending record of one ring, oldest first."""
+        head = int(self._ctrl.heads[ring])
+        tail = int(self._ctrl.tails[ring])
+        out = []
+        for position in range(head, tail):
+            slot = position % self.capacity
+            out.append(tuple(int(v) for v in self.records[ring, slot]))
+        self._ctrl.heads[ring] = tail
+        return out

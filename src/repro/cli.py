@@ -212,6 +212,16 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="local steps between averaging rounds (local_sgd/elastic)")
         train.add_argument("--max-staleness", type=int, default=4,
                            help="bounded-staleness window of async_bsp (0 = lock step)")
+        train.add_argument("--backend", choices=available_components("backend"),
+                           default="simulated",
+                           help="collective backend: 'simulated' runs every worker "
+                                "in-process (the deterministic oracle); "
+                                "'multiprocess' runs real OS processes exchanging "
+                                "tensors through shared memory -- bit-identical "
+                                "on lock-step schedules")
+        train.add_argument("--procs", type=int, default=None,
+                           help="worker-process count for --backend multiprocess "
+                                "(default: min(n_workers, cpu_count))")
         # Observability.
         train.add_argument("--trace", nargs="?", const="", default=None,
                            metavar="OUT.json",
@@ -396,6 +406,8 @@ def _spec_from_args(args) -> RunSpec:
             model=args.execution,
             local_steps=args.local_steps,
             max_staleness=args.max_staleness,
+            backend=args.backend,
+            procs=args.procs,
             kwargs=_coerced_kwargs("execution", args.execution, args.execution_kwargs),
         ),
         observability=ObservabilitySpec(
@@ -439,6 +451,7 @@ def _command_list(as_json: bool = False) -> int:
         ("aggregator", "Aggregators"),
         ("attack", "Attacks"),
         ("execution", "Execution models"),
+        ("backend", "Backends"),
         ("topology", "Topologies"),
         ("model", "Models"),
     ):
@@ -496,8 +509,8 @@ def _command_train(args) -> int:
             monitor = LiveMonitor(monitor_handle)
             hooks = monitor.hooks()
         try:
-            session = api.Session(ledger=ledger)
-            result = session.run(spec, hooks=hooks)
+            with api.Session(ledger=ledger) as session:
+                result = session.run(spec, hooks=hooks)
         finally:
             if monitor_handle is not None:
                 monitor_handle.close()
@@ -514,6 +527,9 @@ def _command_train(args) -> int:
     if args.topology is not None or args.server_rank is not None:
         placement = "" if args.server_rank is None else f", server@{args.server_rank}"
         scenario += f" [topology={args.topology or 'default'}{placement}]"
+    if args.backend != "simulated":
+        procs_note = "" if args.procs is None else f", procs={args.procs}"
+        scenario += f" [backend={args.backend}{procs_note}]"
     print(f"Trained {args.workload} with {args.sparsifier} on {args.workers} simulated workers{scenario}")
     for key, value in sorted(result.final_metrics.items()):
         print(f"  final {key}: {value:.4f}")
@@ -628,10 +644,14 @@ def _command_sweep_grid(args) -> int:
         print(f"{prefix}[{outcome.source:>5}] {_cell_label(outcome.spec)}  {metrics}  "
               f"({outcome.seconds:.2f}s){suffix}")
 
-    report = run_sweep(expansion.specs, jobs=args.jobs, cache=cache,
-                       progress=_progress, ledger=ledger)
+    with api.Session() as session:
+        report = run_sweep(expansion.specs, jobs=args.jobs, cache=cache,
+                           session=session, progress=_progress, ledger=ledger)
     counts = report.counts()
     by_source = report.seconds_by_source()
+    if report.clamp_reason:
+        print(f"  jobs: {report.effective_jobs} effective "
+              f"({report.requested_jobs} requested; {report.clamp_reason})")
     print(f"done in {report.seconds:.2f}s: {counts['run']} run, "
           f"{counts['cache']} cached, {counts['error']} failed, "
           f"{len(expansion.pruned)} pruned "
@@ -663,6 +683,8 @@ def _command_sweep_grid(args) -> int:
                 for pruned in expansion.pruned
             ],
             "jobs": report.jobs,
+            "effective_jobs": report.effective_jobs,
+            "clamp_reason": report.clamp_reason,
             "seconds": report.seconds,
             "seconds_by_source": report.seconds_by_source(),
         }
@@ -829,6 +851,12 @@ def _command_compare(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     diff = regress.diff_entries(entry_a, entry_b)
+    backend_a = (entry_a.get("run") or {}).get("backend") or "simulated"
+    backend_b = (entry_b.get("run") or {}).get("backend") or "simulated"
+    if backend_a != backend_b:
+        print(f"warning: comparing across backends ({backend_a} vs {backend_b}); "
+              "async-schedule metrics only agree statistically, not bitwise",
+              file=sys.stderr)
     if args.as_json:
         print(json.dumps(
             {

@@ -31,7 +31,6 @@ pays ``max_r(compute_r)`` every single round.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List
 
 import numpy as np
@@ -168,13 +167,17 @@ class AsyncBSPExecution(ExecutionModel):
         per_worker_indices = []
         selection_seconds = 0.0
         comm_records_before = len(trainer.backend.meter.records)
-        for pos, r in enumerate(arrived):
+        batches = []
+        for r in arrived:
             batch = self._next_batch(trainer, iterators, r)
             if trainer.adversary.corrupts_data and trainer.adversary.is_byzantine(r):
                 batch = trainer.adversary.corrupt_batch(trainer.iteration, r, batch)
-            start = time.perf_counter()
-            load_flat_parameters(trainer.model, snapshots[r])
-            loss, grad = trainer.worker_gradient(r, batch)
+            batches.append(batch)
+        jobs = [(r, snapshots[r], batches[pos]) for pos, r in enumerate(arrived)]
+        for pos, (loss, grad, host_start, host_end) in enumerate(
+            trainer.batch_gradients(jobs)
+        ):
+            r = arrived[pos]
             if trace:
                 # Event-driven schedule: the batch *finished* at next_done[r]
                 # on the virtual clock, overlapping other workers' compute.
@@ -182,7 +185,7 @@ class AsyncBSPExecution(ExecutionModel):
                     "compute", "async_batch", trainer.iteration, r,
                     float(next_done[r]) - trainer.speed_model.batch_seconds(r),
                     float(next_done[r]),
-                    host=(start, time.perf_counter()),
+                    host=(host_start, host_end),
                     staleness=float(ages[pos]),
                 )
             losses.append(loss)

@@ -18,7 +18,6 @@ parameters and pulls the center), priced with the cost model's
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -118,17 +117,17 @@ class ElasticAveragingExecution(ExecutionModel):
         trace = trainer.obs.trace_enabled
         v_round = trainer.clock.now
         v_sync = v_round + trainer.speed_model.slowest_batch_seconds()
-        for rank in range(n_workers):
-            start = time.perf_counter()
-            load_flat_parameters(trainer.model, local_params[rank])
-            loss, grad = trainer.worker_gradient(rank, batches[rank])
+        jobs = [(rank, local_params[rank], batches[rank]) for rank in range(n_workers)]
+        for rank, (loss, grad, host_start, host_end) in enumerate(
+            trainer.batch_gradients(jobs)
+        ):
             losses[rank] = loss
             local_params[rank] = local_params[rank] - lr * grad
             if trace:
                 trainer.obs.tracer.record(
                     "compute", "local_step", trainer.iteration, rank,
                     v_round, v_round + trainer.speed_model.batch_seconds(rank),
-                    host=(start, time.perf_counter()),
+                    host=(host_start, host_end),
                     sync=bool(sync_now),
                 )
 

@@ -28,7 +28,6 @@ in practice.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List
 
 import numpy as np
@@ -129,17 +128,17 @@ class GossipExecution(ExecutionModel):
         v_round = trainer.clock.now
         v_sync = v_round + trainer.speed_model.slowest_batch_seconds()
         accumulators: List[np.ndarray] = []
-        for rank in range(n_workers):
-            start = time.perf_counter()
-            load_flat_parameters(trainer.model, local_params[rank])
-            loss, grad = trainer.worker_gradient(rank, batches[rank])
+        jobs = [(rank, local_params[rank], batches[rank]) for rank in range(n_workers)]
+        for rank, (loss, grad, host_start, host_end) in enumerate(
+            trainer.batch_gradients(jobs)
+        ):
             losses[rank] = loss
             accumulators.append(trainer.memories[rank].accumulate(grad, lr))
             if trace:
                 trainer.obs.tracer.record(
                     "compute", "local_gradient", trainer.iteration, rank,
                     v_round, v_round + trainer.speed_model.batch_seconds(rank),
-                    host=(start, time.perf_counter()),
+                    host=(host_start, host_end),
                 )
         honest_accumulators = accumulators
         if trainer.adversary.n_byzantine:

@@ -25,7 +25,6 @@ to each local step.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List
 
 import numpy as np
@@ -94,20 +93,22 @@ class LocalSGDExecution(ExecutionModel):
                 trainer.adversary.corrupt_batch(trainer.iteration, rank, batches[rank])
                 for rank in range(n_workers)
             ]
-        # Dense local step on every worker's own parameter copy.
+        # Dense local step on every worker's own parameter copy, through
+        # the trainer's compute seam (parent-side or offloaded to the
+        # backend's worker processes -- bit-identical either way).
         trace = trainer.obs.trace_enabled
         v_round = trainer.clock.now
-        for rank in range(n_workers):
-            start = time.perf_counter()
-            load_flat_parameters(trainer.model, local_params[rank])
-            loss, grad = trainer.worker_gradient(rank, batches[rank])
+        jobs = [(rank, local_params[rank], batches[rank]) for rank in range(n_workers)]
+        for rank, (loss, grad, host_start, host_end) in enumerate(
+            trainer.batch_gradients(jobs)
+        ):
             losses[rank] = loss
             local_params[rank] = local_params[rank] - lr * grad
             if trace:
                 trainer.obs.tracer.record(
                     "compute", "local_step", trainer.iteration, rank,
                     v_round, v_round + trainer.speed_model.batch_seconds(rank),
-                    host=(start, time.perf_counter()),
+                    host=(host_start, host_end),
                     sync=bool(sync_now),
                 )
 

@@ -23,6 +23,7 @@ worker memory without limit.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -76,9 +77,19 @@ class SweepReport:
     """Everything one sweep produced, in input-cell order."""
 
     outcomes: List[CellOutcome] = field(default_factory=list)
+    #: The job count the caller asked for (kept for back-compat; equal to
+    #: ``requested_jobs``).
     jobs: int = 1
     #: Total wall-clock seconds of the sweep (cache lookups included).
     seconds: float = 0.0
+    #: What the caller requested via ``jobs=``.
+    requested_jobs: int = 1
+    #: The worker-process count actually used after the oversubscription
+    #: clamp (``1`` means the misses ran serially in-process).
+    effective_jobs: int = 1
+    #: Why ``effective_jobs`` differs from ``requested_jobs`` (``None``
+    #: when the request was honoured as-is).
+    clamp_reason: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -162,14 +173,20 @@ def run_sweep(
         pruned (:func:`repro.sweep.expand_grid`).
     jobs:
         Worker-process count.  ``1`` (default) runs serially in-process on
-        ``session``; ``> 1`` dispatches misses to a process pool.  Results
-        are bit-identical either way: every cell is fully seeded by its
-        spec.
+        ``session``; ``> 1`` dispatches misses to a process pool, clamped
+        to what the host can actually run side by side (cores divided by
+        the widest cell's process weight -- see
+        :attr:`SweepReport.effective_jobs` / ``clamp_reason``).  Results
+        are bit-identical at any job count: every cell is fully seeded by
+        its spec.
     cache:
         Optional result cache consulted (and filled) per cell.
     session:
         The Session used for serial execution (one is created if omitted).
-        Ignored when ``jobs > 1``; worker processes build their own.
+        Under parallel dispatch the worker processes still build their own
+        Sessions, but the pool itself comes from ``session.executor`` --
+        persistent across ``run_sweep`` calls on the same Session -- so
+        back-to-back sweeps reuse warm workers instead of re-forking.
     progress:
         Callback invoked with each :class:`CellOutcome` as it settles
         (cache hits first, then runs in completion order).
@@ -190,7 +207,7 @@ def run_sweep(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     start = time.perf_counter()
     resolved = [spec.resolve() for spec in specs]
-    report = SweepReport(jobs=int(jobs))
+    report = SweepReport(jobs=int(jobs), requested_jobs=int(jobs))
     report.outcomes = [CellOutcome(index=i, spec=spec) for i, spec in enumerate(resolved)]
 
     # Cache pass: hits settle immediately, misses go to the dispatch list.
@@ -223,19 +240,63 @@ def run_sweep(
             misses.append(outcome.index)
 
     if misses:
-        if jobs == 1:
+        effective, reason = _clamp_jobs(
+            int(jobs), [report.outcomes[i].spec for i in misses]
+        )
+        report.effective_jobs = effective
+        report.clamp_reason = reason
+        if effective == 1:
             _run_serial(
                 report, misses, session=session, cache=cache, progress=progress,
                 metrics=metrics, ledger=ledger,
             )
         else:
             _run_parallel(
-                report, misses, jobs=jobs, cache=cache, progress=progress,
-                metrics=metrics, ledger=ledger,
+                report, misses, jobs=effective, session=session, cache=cache,
+                progress=progress, metrics=metrics, ledger=ledger,
             )
 
     report.seconds = time.perf_counter() - start
     return report
+
+
+# ---------------------------------------------------------------------- #
+def _cell_weight(spec: RunSpec, cpu: int) -> int:
+    """How many OS processes one running cell occupies.
+
+    Simulated cells are single-process; a multiprocess cell forks its
+    worker group, so its ``procs`` count against the host's core budget.
+    """
+    if getattr(spec.execution, "backend", "simulated") == "multiprocess":
+        return max(1, spec.execution.procs or min(spec.cluster.n_workers, cpu))
+    return 1
+
+
+def _clamp_jobs(requested: int, miss_specs: Sequence[RunSpec]):
+    """Bound the pool size by the host's cores and the cells' weights.
+
+    Dispatching more simultaneous processes than cores buys nothing and
+    measurably loses to serial on a single core (scheduler churn plus the
+    pool's pickling overhead -- the BENCH_sweep regression this replaces),
+    so the effective pool is ``cpu_count // max_cell_weight``, floored at
+    serial.  Returns ``(effective_jobs, reason-or-None)``.
+    """
+    cpu = os.cpu_count() or 1
+    weight = max((_cell_weight(spec, cpu) for spec in miss_specs), default=1)
+    budget = max(1, cpu // weight)
+    effective = min(requested, budget, len(miss_specs))
+    if effective < 1:
+        effective = 1
+    if effective == requested:
+        return effective, None
+    if effective == len(miss_specs) and effective < min(requested, budget):
+        return effective, f"only {len(miss_specs)} cache-missed cells to run"
+    if weight > 1:
+        return effective, (
+            f"clamped to {effective} jobs: {cpu} cpu(s) / "
+            f"{weight}-process multiprocess cells"
+        )
+    return effective, f"clamped to {effective} jobs on {cpu} cpu(s)"
 
 
 def _ledger_cell(ledger: RunLedger, outcome: CellOutcome) -> None:
@@ -266,6 +327,8 @@ def _ledger_cell(ledger: RunLedger, outcome: CellOutcome) -> None:
                 "aggregator": spec.robustness.aggregator,
                 "attack": spec.robustness.attack,
                 "execution": spec.execution.model,
+                "backend": spec.execution.backend,
+                "procs": spec.execution.procs,
             },
             "metrics": {},
             "phase_totals": None,
@@ -337,13 +400,23 @@ def _run_parallel(
     misses: List[int],
     *,
     jobs: int,
+    session: Optional[Session] = None,
     cache: Optional[ResultCache],
     progress: Optional[Callable[[CellOutcome], None]],
     metrics: Optional[MetricsRegistry] = None,
     ledger: Optional[RunLedger] = None,
 ) -> None:
     max_workers = min(int(jobs), len(misses))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+    # A Session owns a persistent pool reused across run_sweep calls (its
+    # warm worker processes keep their task caches); without one the pool
+    # is per-call and torn down on the way out.
+    if session is not None:
+        pool = session.executor(max_workers)
+        owns_pool = False
+    else:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        owns_pool = True
+    try:
         submitted_at = time.perf_counter()
         pending = {
             pool.submit(_run_cell, report.outcomes[index].spec.to_dict()): index
@@ -365,3 +438,6 @@ def _run_parallel(
                     )
                     metrics.histogram("sweep_queue_wait_seconds").observe(queue_wait)
                 _settle(report, index, status, payload, seconds, cache, progress, metrics, ledger)
+    finally:
+        if owns_pool:
+            pool.shutdown(wait=True)

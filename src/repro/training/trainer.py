@@ -62,7 +62,8 @@ from repro.comm.cost_model import AlphaBetaModel
 from repro.comm.simulated import SimulatedBackend
 from repro.data.dataloader import DataLoader
 from repro.data.partition import shard_dataset
-from repro.execution.base import ExecutionModel
+from repro.comm.backend import CollectiveBackend
+from repro.execution.base import ExecutionModel, load_flat_parameters
 from repro.execution.straggler import STRAGGLER_PROFILES, VirtualClock, WorkerSpeedModel
 from repro.observability import Observability, ObservabilitySpec
 from repro.sparsifiers.base import GradientLayout, Sparsifier
@@ -76,6 +77,25 @@ from repro.utils.logging import RunLogger
 from repro.utils.seeding import SeedSequenceFactory
 
 __all__ = ["TrainingConfig", "TrainingResult", "DistributedTrainer"]
+
+
+def _forward_is_pure(model) -> bool:
+    """Whether a training forward pass mutates no shared module state.
+
+    Registered buffers (batch-norm running statistics) are updated inside
+    ``forward``, and dropout draws from a module-held RNG; either one
+    makes the model unsafe to evaluate in a forked worker, because the
+    mutation would be lost to the parent copy.  Conservative by design:
+    anything not recognisably pure stays parent-side.
+    """
+    from repro.nn import Dropout
+
+    try:
+        if any(True for _ in model.named_buffers()):
+            return False
+        return not any(isinstance(m, Dropout) for m in model.modules())
+    except (AttributeError, TypeError):
+        return False
 
 
 @dataclass
@@ -133,6 +153,13 @@ class TrainingConfig:
     #: ``path_hops(rank, server_rank)`` -- and refused by server-less
     #: schedules.
     server_rank: Optional[int] = None
+    #: Execution backend: "simulated" (in-process lock step, deterministic
+    #: oracle) or "multiprocess" (real OS worker processes over
+    #: shared-memory arenas).
+    backend: str = "simulated"
+    #: OS worker processes of the multiprocess backend (None = auto:
+    #: ``min(n_workers, cpu_count)``).  Ignored by the simulated backend.
+    procs: Optional[int] = None
     #: Observability flags (span tracing, metrics).  ``None`` means fully
     #: disabled; recording never perturbs training (results are
     #: bit-identical with tracing on or off).
@@ -141,6 +168,14 @@ class TrainingConfig:
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {self.n_workers}")
+        if self.procs is not None and self.procs <= 0:
+            raise ValueError(f"procs must be positive, got {self.procs}")
+        from repro.plugins import get_component
+
+        try:
+            get_component("backend", self.backend)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from exc
         from repro.plugins.capabilities import check_byzantine_count
 
         check_byzantine_count(self.n_workers, int(self.n_byzantine))
@@ -218,7 +253,7 @@ class DistributedTrainer:
         task: Task,
         sparsifier: Sparsifier,
         config: TrainingConfig,
-        backend: Optional[SimulatedBackend] = None,
+        backend: Optional[CollectiveBackend] = None,
         cost_model: Optional[AlphaBetaModel] = None,
         run_name: Optional[str] = None,
         aggregator: Optional[Aggregator] = None,
@@ -228,7 +263,16 @@ class DistributedTrainer:
         self.task = task
         self.sparsifier = sparsifier
         self.config = config
-        self.backend = backend if backend is not None else SimulatedBackend(config.n_workers)
+        if backend is not None:
+            self.backend = backend
+            self._owns_backend = False
+        else:
+            from repro.backends.registry import build_backend_component
+
+            self.backend = build_backend_component(
+                config.backend, config.n_workers, procs=config.procs
+            )
+            self._owns_backend = True
         if self.backend.n_workers != config.n_workers:
             raise ValueError("backend worker count does not match the training configuration")
         self.cost_model = cost_model if cost_model is not None else AlphaBetaModel()
@@ -319,7 +363,15 @@ class DistributedTrainer:
             straggler_profile=config.straggler_profile,
             topology=config.topology or "flat",
             server_rank=config.server_rank,
+            backend=self.backend_name,
+            procs=self.backend_procs,
         )
+        if self.obs.metrics_enabled:
+            self.obs.metrics.gauge(
+                "backend_info",
+                backend=self.backend_name,
+                procs=str(self.backend_procs or 1),
+            ).set(1.0)
         self.timing = TimingAccumulator()
         self.iteration = 0
         # Reusable hot-path buffers for sparse_exchange: the flattened
@@ -328,7 +380,29 @@ class DistributedTrainer:
         # union, which is re-zeroed after each apply).
         self._contrib_buffer = np.empty((config.n_workers, 0), dtype=np.float64)
         self._update_buffer = np.zeros(self.n_gradients, dtype=np.float64)
+        # Compute offload: backends with real worker processes can evaluate
+        # forward/backward off the parent -- but only for models whose
+        # training forward mutates no shared module state.  Batch-norm
+        # running stats and dropout RNG draws live inside the model, and a
+        # forked worker's mutation never reaches the parent copy used for
+        # evaluation, so such models keep parent-side compute (the real
+        # collectives still run over shared memory).
+        if (
+            hasattr(self.backend, "bind_compute")
+            and not getattr(self.backend, "_started", False)
+            and _forward_is_pure(self.model)
+        ):
+            self.backend.bind_compute(self.model, task, self.n_gradients)
+        self._offload = bool(getattr(self.backend, "supports_compute", False))
         self.execution.bind(self)
+
+    @property
+    def backend_name(self) -> str:
+        return getattr(self.backend, "name", type(self.backend).__name__)
+
+    @property
+    def backend_procs(self) -> Optional[int]:
+        return getattr(self.backend, "procs", None)
 
     # ------------------------------------------------------------------ #
     def _build_loaders(self, seeds: SeedSequenceFactory) -> List[DataLoader]:
@@ -361,6 +435,29 @@ class DistributedTrainer:
         grad_flat = flatten_gradients(self.model)
         self.model.zero_grad()
         return float(loss.item()), grad_flat
+
+    def batch_gradients(self, jobs: Sequence[tuple]) -> List[tuple]:
+        """Evaluate a round of ``(rank, params, batch)`` gradient jobs.
+
+        This is the compute seam every schedule funnels its per-rank
+        forward/backward work through.  ``params is None`` means "the
+        shared model's current parameters"; a vector means "load this
+        worker's own copy first".  Returns one ``(loss, grad_flat,
+        host_start, host_end)`` tuple per job, in job order -- identical
+        whether the work ran parent-side or on the backend's worker
+        processes (parameters round-trip float32→float64→float32 exactly,
+        so the arithmetic is the same stream of operations either way).
+        """
+        if self._offload and jobs:
+            return self.backend.compute_gradients(jobs)
+        results = []
+        for rank, params, batch in jobs:
+            if params is not None:
+                load_flat_parameters(self.model, params)
+            start = time.perf_counter()
+            loss_value, grad_flat = self.worker_gradient(rank, batch)
+            results.append((loss_value, grad_flat, start, time.perf_counter()))
+        return results
 
     def sparse_exchange(self, accumulators: Sequence[np.ndarray], honest_accumulators: Sequence[np.ndarray]) -> Dict:
         """Steps 3-7 of Algorithm 1: coordinate, select, aggregate, apply.
@@ -530,20 +627,18 @@ class DistributedTrainer:
                 self.adversary.corrupt_batch(self.iteration, rank, batches[rank])
                 for rank in range(n_workers)
             ]
-        for rank in range(n_workers):
-            start = time.perf_counter()
-            self.model.zero_grad()
-            loss = self.task.compute_loss(self.model, batches[rank])
-            loss.backward()
-            forward_backward_times[rank] = time.perf_counter() - start
-            losses[rank] = loss.item()
-            grad_flat = flatten_gradients(self.model)
+        jobs = [(rank, None, batches[rank]) for rank in range(n_workers)]
+        for rank, (loss_value, grad_flat, host_start, host_end) in enumerate(
+            self.batch_gradients(jobs)
+        ):
+            forward_backward_times[rank] = host_end - host_start
+            losses[rank] = loss_value
             accumulators.append(self.memories[rank].accumulate(grad_flat, lr))
             if trace:
                 self.obs.tracer.record(
                     "compute", "forward_backward", self.iteration, rank,
                     v_round, v_round + self.speed_model.batch_seconds(rank),
-                    host=(start, start + forward_backward_times[rank]),
+                    host=(host_start, host_end),
                 )
         self.model.zero_grad()
 
@@ -729,7 +824,15 @@ class DistributedTrainer:
 
     def train(self) -> TrainingResult:
         """Run the configured schedule over all epochs and return the result."""
-        last_summary = self.execution.run()
+        try:
+            last_summary = self.execution.run()
+        finally:
+            # A trainer-built backend owns real resources (worker
+            # processes, shared-memory segments); release them even when a
+            # schedule raises.  The traffic meter outlives the close --
+            # Session reads it after train() returns.
+            if self._owns_backend:
+                self.backend.close()
         final_metrics = dict(last_summary)
         if not self.config.evaluate_each_epoch:
             final_metrics.update(self.task.evaluate(self.model))

@@ -1,0 +1,93 @@
+"""Session-level agreement between the simulated and multiprocess backends.
+
+The simulated backend is the deterministic oracle: every lock-step
+schedule must produce bit-identical metrics and traffic regardless of
+which backend executed the run.  The asynchronous schedules advance a
+deterministic virtual clock (their asynchrony is simulated time, not
+host-scheduling jitter), so they too must agree -- including the shape
+of the observed-staleness distribution.
+"""
+
+import pytest
+
+from repro.api import RunSpec, Session
+
+LOCKSTEP_MODELS = ["synchronous", "local_sgd", "gossip"]
+ASYNC_MODELS = ["async_bsp", "elastic"]
+
+
+def _spec(model, seed, *, backend, profile="uniform", metrics=False):
+    return RunSpec.from_dict(
+        {
+            "workload": "lm",
+            "seed": seed,
+            "cluster": {"n_workers": 2, "straggler_profile": profile},
+            "optimizer": {"epochs": 1, "max_iterations_per_epoch": 3},
+            "compression": {"sparsifier": "deft", "density": 0.1},
+            "execution": {"model": model, "backend": backend},
+            "observability": {"metrics": metrics},
+        }
+    )
+
+
+def _run_pair(model, seed, **kwargs):
+    """Run the same scenario on both backends inside one session."""
+    with Session() as session:
+        oracle = session.run(_spec(model, seed, backend="simulated", **kwargs))
+        real = session.run(_spec(model, seed, backend="multiprocess", **kwargs))
+    return oracle, real
+
+
+class TestLockstepBitIdentity:
+    @pytest.mark.parametrize("model", LOCKSTEP_MODELS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_final_metrics_and_traffic_identical(self, model, seed):
+        oracle, real = _run_pair(model, seed)
+        assert oracle.final_metrics == real.final_metrics
+        assert oracle.traffic == real.traffic
+
+
+class TestAsyncAgreement:
+    @pytest.mark.parametrize("model", ASYNC_MODELS)
+    def test_loss_and_traffic_agree(self, model):
+        oracle, real = _run_pair(model, 0, profile="straggler")
+        for name, value in oracle.final_metrics.items():
+            assert real.final_metrics[name] == pytest.approx(value, rel=1e-9)
+        assert oracle.traffic == real.traffic
+
+    def test_staleness_distribution_agrees(self):
+        oracle, real = _run_pair("async_bsp", 0, profile="straggler", metrics=True)
+        def staleness(result):
+            histograms = result.observability["metrics"]["histograms"]
+            found = {k: v for k, v in histograms.items() if "staleness_observed" in k}
+            assert found, f"no staleness histogram in {sorted(histograms)}"
+            return found
+        expected = staleness(oracle)
+        actual = staleness(real)
+        assert set(expected) == set(actual)
+        for key, summary in expected.items():
+            for stat in ("count", "mean", "p50", "p95"):
+                assert actual[key][stat] == pytest.approx(summary[stat], rel=1e-9)
+
+
+class TestBackendStamping:
+    def test_ledger_entry_carries_backend_and_procs(self):
+        with Session() as session:
+            result = session.run(
+                _spec("synchronous", 0, backend="multiprocess").resolve()
+            )
+        entry = result.to_ledger_entry()
+        assert entry["run"]["backend"] == "multiprocess"
+        assert entry["run"]["procs"] is None  # auto-sized
+        oracle = Session().run(_spec("synchronous", 0, backend="simulated"))
+        assert oracle.to_ledger_entry()["run"]["backend"] == "simulated"
+
+    def test_backend_info_gauge_present(self):
+        with Session() as session:
+            result = session.run(
+                _spec("synchronous", 0, backend="multiprocess", metrics=True)
+            )
+        gauges = result.observability["metrics"]["gauges"]
+        keys = [k for k in gauges if "backend_info" in k and "multiprocess" in k]
+        assert keys, f"backend_info gauge missing from {sorted(gauges)}"
+        assert all(gauges[k] == 1.0 for k in keys)

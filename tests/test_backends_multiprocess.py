@@ -1,0 +1,303 @@
+"""Behavioural tests of the multiprocess backend against the simulated oracle.
+
+The contract under test: every operation records the byte-identical
+traffic-meter entry the simulated backend would, lock-step reductions are
+bit-identical, worker crashes surface as clean errors, and no shared-memory
+segment survives ``close()`` -- crash or not.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import MultiprocessBackend, available_backends, build_backend_component
+from repro.backends.shm import list_repro_segments
+from repro.comm.backend import ReduceOp
+from repro.comm.simulated import SimulatedBackend
+
+N = 4
+M = 64
+
+
+@pytest.fixture
+def pair():
+    """A (simulated, multiprocess) backend pair over the same worker count."""
+    sim = SimulatedBackend(N)
+    mp = MultiprocessBackend(N)
+    yield sim, mp
+    mp.close()
+
+
+def _rows(seed=0, m=M):
+    return np.random.default_rng(seed).standard_normal((N, m))
+
+
+def _assert_meters_identical(sim, mp):
+    assert len(sim.meter.records) == len(mp.meter.records)
+    for a, b in zip(sim.meter.records, mp.meter.records):
+        assert (a.op, a.sent_per_rank, a.received_per_rank, a.tag, a.src, a.dst) == (
+            b.op, b.sent_per_rank, b.received_per_rank, b.tag, b.src, b.dst
+        )
+
+
+class TestRegistry:
+    def test_backends_registered(self):
+        assert available_backends() == ["multiprocess", "simulated"]
+
+    def test_build_simulated(self):
+        backend = build_backend_component("simulated", N)
+        assert isinstance(backend, SimulatedBackend)
+        assert backend.name == "simulated"
+        assert backend.procs is None
+        backend.close()  # no-op, but part of the shared surface
+
+    def test_build_multiprocess_with_procs(self):
+        backend = build_backend_component("multiprocess", N, procs=2)
+        try:
+            assert isinstance(backend, MultiprocessBackend)
+            assert backend.procs == 2
+        finally:
+            backend.close()
+
+    def test_procs_clamped_to_workers(self):
+        backend = MultiprocessBackend(2, procs=16)
+        try:
+            assert backend.procs == 2
+        finally:
+            backend.close()
+
+
+class TestReductionParity:
+    @pytest.mark.parametrize("op", [ReduceOp.SUM, ReduceOp.MEAN, ReduceOp.MAX, ReduceOp.MIN])
+    def test_allreduce_rows_bit_identical(self, pair, op):
+        sim, mp = pair
+        rows = _rows(seed=_ROP_SEED[op])
+        expected = sim.allreduce_rows(rows.copy(), op=op, tag="t")
+        actual = mp.allreduce_rows(rows.copy(), op=op, tag="t")
+        np.testing.assert_array_equal(expected, actual)
+        assert mp.shm_ops == 1
+        assert mp.fallback_ops == 0
+        _assert_meters_identical(sim, mp)
+
+    def test_allreduce_list_bit_identical(self, pair):
+        sim, mp = pair
+        buffers = [np.random.default_rng(r).standard_normal(M) for r in range(N)]
+        expected = sim.allreduce([b.copy() for b in buffers], tag="lst")
+        actual = mp.allreduce([b.copy() for b in buffers], tag="lst")
+        for e, a in zip(expected, actual):
+            np.testing.assert_array_equal(e, a)
+        assert mp.shm_ops == 1
+        _assert_meters_identical(sim, mp)
+
+    def test_allreduce_int_dtype_falls_back_identically(self, pair):
+        sim, mp = pair
+        buffers = [np.arange(8, dtype=np.int64) * (r + 1) for r in range(N)]
+        expected = sim.allreduce([b.copy() for b in buffers])
+        actual = mp.allreduce([b.copy() for b in buffers])
+        for e, a in zip(expected, actual):
+            np.testing.assert_array_equal(e, a)
+            assert a.dtype == np.int64
+        assert mp.shm_ops == 0
+        assert mp.fallback_ops == 1
+        _assert_meters_identical(sim, mp)
+
+    def test_allgather_rows_view_matches(self, pair):
+        sim, mp = pair
+        rows = _rows(seed=42)
+        expected = sim.allgather_rows(rows.copy(), tag="rows")
+        actual = mp.allgather_rows(rows.copy(), tag="rows")
+        np.testing.assert_array_equal(expected, actual)
+        _assert_meters_identical(sim, mp)
+
+    def test_allgather_rows_view_survives_one_more_op(self, pair):
+        # The double buffer guarantees a gathered view stays valid across
+        # exactly one subsequent data-staging operation.
+        _, mp = pair
+        rows = _rows(seed=7)
+        view = mp.allgather_rows(rows.copy())
+        mp.allreduce_rows(_rows(seed=8))
+        np.testing.assert_array_equal(view, rows)
+
+    def test_parent_side_ops_identical(self, pair):
+        sim, mp = pair
+        idx = [np.arange(r + 1, dtype=np.int64) for r in range(N)]
+        for e, a in zip(sim.allgather(idx, tag="i"), mp.allgather(idx, tag="i")):
+            np.testing.assert_array_equal(e, a)
+        assert sim.broadcast({"k": 1}, root=0) == mp.broadcast({"k": 1}, root=0)
+        values = [0.5, 1.5, 2.5, 3.5]
+        assert sim.reduce_scalar(values) == mp.reduce_scalar(values)
+        for e, a in zip(
+            sim.gather([np.ones(3)] * N, root=1), mp.gather([np.ones(3)] * N, root=1)
+        ):
+            np.testing.assert_array_equal(e, a)
+        _assert_meters_identical(sim, mp)
+
+    def test_barrier_roundtrip(self, pair):
+        _, mp = pair
+        mp.barrier()  # no-op before the pool starts
+        mp.allreduce_rows(_rows())
+        mp.barrier()  # a real all-ack round
+
+
+_ROP_SEED = {ReduceOp.SUM: 1, ReduceOp.MEAN: 2, ReduceOp.MAX: 3, ReduceOp.MIN: 4}
+
+
+class TestMailbox:
+    def test_push_pull_send_metering_identical(self, pair):
+        sim, mp = pair
+        for backend in (sim, mp):
+            backend.push(1, 100, tag="async-push")
+            backend.send(0, 2, 50, tag="gossip")
+            backend.pull(1, 100, tag="async-pull")
+        _assert_meters_identical(sim, mp)
+
+    def test_mailbox_records_flow(self):
+        mp = MultiprocessBackend(N)
+        try:
+            mp.push(1, 100, tag="p")
+            mp.push(2, 200, tag="p")
+            mp.send(0, 3, 50, tag="s")
+            stats = mp.mailbox_stats()
+            assert stats["enqueued"] == 3
+            assert stats["pending"] == 3
+            mp.pull(1, 100)  # drains the server ring (the two pushes)
+            records = mp.drain_mailbox(3)  # rank 3's ring (the send)
+            assert len(records) == 1
+            assert records[0][1] == 0  # src peer
+            assert records[0][2] == 50  # payload
+            stats = mp.mailbox_stats()
+            assert stats["drained"] == 3
+            assert stats["pending"] == 0
+        finally:
+            mp.close()
+
+    def test_stats_survive_close(self):
+        mp = MultiprocessBackend(N)
+        mp.push(0, 10)
+        mp.close()
+        stats = mp.mailbox_stats()
+        assert stats["enqueued"] == 1
+        assert stats["pending"] == 1
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self):
+        mp = MultiprocessBackend(N)
+        mp.allreduce_rows(_rows())
+        created = [arena.name for arena in mp._arenas]
+        assert created and all(name in list_repro_segments() for name in created)
+        mp.close()
+        assert all(name not in list_repro_segments() for name in created)
+
+    def test_close_is_idempotent(self):
+        mp = MultiprocessBackend(N)
+        mp.allreduce_rows(_rows())
+        mp.close()
+        mp.close()
+
+    def test_close_before_start_is_safe(self):
+        mp = MultiprocessBackend(N)
+        mp.close()
+
+    def test_ops_after_close_fall_back(self):
+        mp = MultiprocessBackend(N)
+        mp.close()
+        sim = SimulatedBackend(N)
+        rows = _rows()
+        np.testing.assert_array_equal(
+            mp.allreduce_rows(rows.copy()), sim.allreduce_rows(rows.copy())
+        )
+        assert mp.fallback_ops == 1
+
+    def test_sigkilled_worker_surfaces_clean_error(self):
+        mp = MultiprocessBackend(N)
+        try:
+            mp.allreduce_rows(_rows())
+            victim = mp._processes[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5)
+            deadline = time.monotonic() + 5
+            while victim.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(RuntimeError, match="died with exitcode"):
+                mp.allreduce_rows(_rows(seed=9))
+        finally:
+            created = [arena.name for arena in mp._arenas]
+            mp.close()
+        # The crash must not leak a single segment.
+        assert all(name not in list_repro_segments() for name in created)
+
+    def test_degraded_mode_without_fork(self, monkeypatch):
+        mp = MultiprocessBackend(N)
+        try:
+            monkeypatch.setattr(mp, "_fork_ok", False)
+            sim = SimulatedBackend(N)
+            rows = _rows()
+            np.testing.assert_array_equal(
+                mp.allreduce_rows(rows.copy()), sim.allreduce_rows(rows.copy())
+            )
+            assert not mp._started
+            assert mp.fallback_ops == 1
+            assert mp.shm_ops == 0
+        finally:
+            mp.close()
+
+
+class TestComputeOffload:
+    def test_unbound_compute_raises(self):
+        mp = MultiprocessBackend(N)
+        try:
+            with pytest.raises(RuntimeError, match="not bound"):
+                mp.compute_gradients([(0, None, None)])
+        finally:
+            mp.close()
+
+    def test_bind_after_start_raises(self):
+        mp = MultiprocessBackend(N)
+        try:
+            mp.allreduce_rows(_rows())
+            with pytest.raises(RuntimeError, match="precede"):
+                mp.bind_compute(object(), object(), 10)
+        finally:
+            mp.close()
+
+    def test_offloaded_gradients_bit_identical(self, smoke_lm_task):
+        from repro.data.dataloader import DataLoader
+        from repro.execution.base import flatten_parameters
+        from repro.training.optimizers import flatten_gradients
+
+        task = smoke_lm_task
+        model = task.build_model()
+        n_gradients = flatten_parameters(model).size
+        loader = DataLoader(
+            task.train_dataset(), batch_size=8, shuffle=True,
+            rng=np.random.default_rng(0),
+        )
+        iterator = iter(loader)
+        batches = [next(iterator) for _ in range(N)]
+
+        # Parent-side reference gradients, one per rank.
+        reference = []
+        for batch in batches:
+            model.zero_grad()
+            loss = task.compute_loss(model, batch)
+            loss.backward()
+            reference.append((float(loss.item()), flatten_gradients(model)))
+            model.zero_grad()
+
+        mp = MultiprocessBackend(N)
+        try:
+            mp.bind_compute(model, task, n_gradients)
+            assert mp.supports_compute
+            jobs = [(rank, None, batches[rank]) for rank in range(N)]
+            results = mp.compute_gradients(jobs)
+            assert len(results) == N
+            for (exp_loss, exp_grad), (loss, grad, start, end) in zip(reference, results):
+                assert loss == exp_loss
+                np.testing.assert_array_equal(exp_grad, grad)
+                assert end >= start
+        finally:
+            mp.close()

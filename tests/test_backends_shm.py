@@ -1,0 +1,172 @@
+"""Unit tests for the shared-memory primitives of the multiprocess backend.
+
+These exercise :mod:`repro.backends.shm` entirely in-process: arena
+lifetime (create, view, unlink, idempotent close), the seqlock command
+protocol (publish/ack ordering, torn-read detection) and the bounded
+mailbox rings (FIFO order, drop-oldest overflow).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backends.shm import (
+    HEADER_FIELDS,
+    OP_BARRIER,
+    OP_REDUCE,
+    OP_SHUTDOWN,
+    SEGMENT_PREFIX,
+    ControlBlock,
+    MailboxRing,
+    SharedArena,
+    list_repro_segments,
+)
+
+
+class TestSharedArena:
+    def test_create_view_and_unlink(self):
+        arena = SharedArena("unit", (4, 8))
+        assert arena.array.shape == (4, 8)
+        assert arena.array.dtype == np.float64
+        assert (arena.array == 0).all()
+        assert arena.name.startswith(f"{SEGMENT_PREFIX}-{os.getpid()}-")
+        assert arena.name in list_repro_segments()
+        arena.array[2, 3] = 7.5
+        assert arena.array[2, 3] == 7.5
+        arena.close()
+        assert arena.name not in list_repro_segments()
+
+    def test_close_is_idempotent(self):
+        arena = SharedArena("twice", (8,))
+        arena.close()
+        arena.close()
+        assert arena.array is None
+
+    def test_int64_dtype(self):
+        arena = SharedArena("ints", (16,), dtype=np.int64)
+        try:
+            arena.array[:] = np.arange(16)
+            assert arena.array.dtype == np.int64
+            assert int(arena.array.sum()) == 120
+        finally:
+            arena.close()
+
+    def test_owned_in_creator(self):
+        arena = SharedArena("owner", (2,))
+        try:
+            assert arena.owned
+        finally:
+            arena.close()
+
+
+def _make_ctrl(n_procs=3, n_rings=4):
+    vec = np.zeros(ControlBlock.size_for(n_procs, n_rings), dtype=np.int64)
+    return ControlBlock(vec, n_procs, n_rings)
+
+
+class TestControlBlock:
+    def test_size_for_matches_layout(self):
+        assert ControlBlock.size_for(3, 4) == HEADER_FIELDS + 2 * 3 + 2 * 4
+
+    def test_rejects_wrong_vector(self):
+        with pytest.raises(ValueError):
+            ControlBlock(np.zeros(4, dtype=np.int64), 2, 2)
+        with pytest.raises(ValueError):
+            ControlBlock(np.zeros(64, dtype=np.float64), 2, 2)
+
+    def test_publish_then_read(self):
+        ctrl = _make_ctrl()
+        seq = ctrl.publish(OP_REDUCE, rows=4, cols=10, rop=1, buf_index=1)
+        assert seq == 1
+        command = ctrl.read_command(last_seq=0)
+        assert command == (1, OP_REDUCE, 4, 10, 1, 1)
+        # Nothing new under the same sequence.
+        assert ctrl.read_command(last_seq=1) is None
+
+    def test_ack_protocol(self):
+        ctrl = _make_ctrl(n_procs=2)
+        seq = ctrl.publish(OP_BARRIER)
+        assert not ctrl.acked(seq)
+        ctrl.ack(0, seq)
+        assert not ctrl.acked(seq)
+        ctrl.ack(1, seq)
+        assert ctrl.acked(seq)
+
+    def test_sequences_monotonic(self):
+        ctrl = _make_ctrl()
+        assert ctrl.publish(OP_REDUCE) == 1
+        assert ctrl.publish(OP_BARRIER) == 2
+        assert ctrl.publish(OP_SHUTDOWN) == 3
+        assert ctrl.seq == 3
+
+    def test_torn_read_returns_none(self):
+        # Simulate a concurrent publish racing the field copy: the header's
+        # sequence moves between the two reads, so the read must be retried.
+        class TornHeader:
+            def __init__(self, header):
+                self._header = header
+                self._reads = 0
+
+            def __getitem__(self, index):
+                if index == 0:
+                    self._reads += 1
+                    return self._header[0] + (0 if self._reads == 1 else 1)
+                return self._header[index]
+
+        torn = _make_ctrl()
+        torn.publish(OP_REDUCE, rows=1)
+        torn.header = TornHeader(torn.header)
+        assert torn.read_command(last_seq=0) is None
+
+    def test_error_flags(self):
+        ctrl = _make_ctrl(n_procs=2)
+        assert (ctrl.errors == 0).all()
+        ctrl.flag_error(1, code=5)
+        assert int(ctrl.errors[1]) == 5
+
+    def test_pack_header_roundtrip(self):
+        ctrl = _make_ctrl()
+        ctrl.publish(OP_REDUCE, rows=2, cols=3, rop=1, buf_index=1, aux=9)
+        packed = ctrl.pack_header()
+        assert len(packed) == 8 * HEADER_FIELDS
+
+
+class TestMailboxRing:
+    def _make(self, n_rings=3, capacity=4):
+        ctrl = _make_ctrl(n_procs=2, n_rings=n_rings)
+        records = np.zeros((n_rings, capacity, MailboxRing.RECORD_FIELDS), dtype=np.int64)
+        return MailboxRing(records, ctrl)
+
+    def test_fifo_order(self):
+        mbox = self._make()
+        mbox.append(0, kind=1, peer=2, payload=100, tag=7)
+        mbox.append(0, kind=2, peer=1, payload=200, tag=8)
+        assert mbox.pending(0) == 2
+        assert mbox.drain(0) == [(1, 2, 100, 7), (2, 1, 200, 8)]
+        assert mbox.pending(0) == 0
+
+    def test_rings_are_independent(self):
+        mbox = self._make()
+        mbox.append(0, 1, 0, 10)
+        mbox.append(2, 1, 0, 30)
+        assert mbox.pending(0) == 1
+        assert mbox.pending(1) == 0
+        assert mbox.pending(2) == 1
+        assert len(mbox) == 2
+
+    def test_overflow_drops_oldest(self):
+        mbox = self._make(capacity=3)
+        for payload in range(5):
+            mbox.append(0, 1, 0, payload)
+        assert mbox.dropped == 2
+        assert mbox.pending(0) == 3
+        payloads = [record[2] for record in mbox.drain(0)]
+        assert payloads == [2, 3, 4]
+
+    def test_rejects_mismatched_shapes(self):
+        ctrl = _make_ctrl(n_procs=2, n_rings=3)
+        with pytest.raises(ValueError):
+            MailboxRing(np.zeros((3, 4, 2), dtype=np.int64), ctrl)
+        with pytest.raises(ValueError):
+            MailboxRing(np.zeros((2, 4, 4), dtype=np.int64), ctrl)

@@ -38,8 +38,8 @@ class TestListJson:
         assert main(["list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload["components"]) == {
-            "sparsifier", "aggregator", "attack", "execution", "model",
-            "topology",
+            "sparsifier", "aggregator", "attack", "backend", "execution",
+            "model", "topology",
         }
         names = [entry["name"] for entry in payload["components"]["sparsifier"]]
         assert "deft" in names

@@ -18,8 +18,8 @@ from repro.plugins import (
 class TestRegistryFramework:
     def test_all_kinds_registered(self):
         assert component_kinds() == [
-            "aggregator", "attack", "execution", "model", "sparsifier",
-            "topology",
+            "aggregator", "attack", "backend", "execution", "model",
+            "sparsifier", "topology",
         ]
 
     def test_available_matches_legacy_registries(self):

@@ -354,6 +354,114 @@ class TestParallelDispatch:
 
 
 # ---------------------------------------------------------------------- #
+class TestJobClamp:
+    """The oversubscription clamp: jobs never exceed what the host can run."""
+
+    def test_clamped_to_cpu_count(self, monkeypatch):
+        from repro.sweep import engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 2)
+        specs = [tiny_spec(seed=s) for s in range(3)]
+        report = run_sweep(specs, jobs=8)
+        assert report.requested_jobs == 8
+        assert report.jobs == 8  # back-compat: the requested count
+        assert report.effective_jobs == 2
+        assert "2 cpu" in report.clamp_reason
+
+    def test_single_core_falls_back_to_serial(self, monkeypatch):
+        from repro.sweep import engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 1)
+        specs = [tiny_spec(seed=s) for s in (0, 1)]
+        report = run_sweep(specs, jobs=4)
+        assert report.effective_jobs == 1
+        assert report.clamp_reason is not None
+        assert report.counts()["error"] == 0
+
+    def test_unclamped_when_cores_suffice(self, monkeypatch):
+        from repro.sweep import engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 8)
+        specs = [tiny_spec(seed=s) for s in (0, 1)]
+        report = run_sweep(specs, jobs=2)
+        assert report.effective_jobs == 2
+        assert report.clamp_reason is None
+
+    def test_multiprocess_cells_count_procs(self, monkeypatch):
+        from repro.sweep import engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 8)
+        specs = [
+            tiny_spec(seed=s, execution={"backend": "multiprocess", "procs": 4})
+            for s in range(4)
+        ]
+        effective, reason = engine._clamp_jobs(4, [s.resolve() for s in specs])
+        assert effective == 2  # 8 cpus / 4-process cells
+        assert "4-process" in reason
+
+    def test_multiprocess_default_procs_weighted_by_workers(self, monkeypatch):
+        from repro.sweep import engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 4)
+        spec = tiny_spec(execution={"backend": "multiprocess"}).resolve()
+        # procs=None resolves to min(n_workers=2, cpu=4) = 2 processes.
+        assert engine._cell_weight(spec, 4) == 2
+        effective, _ = engine._clamp_jobs(4, [spec, spec, spec])
+        assert effective == 2
+
+    def test_fewer_misses_than_jobs(self, monkeypatch):
+        from repro.sweep import engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 8)
+        report = run_sweep([tiny_spec()], jobs=4)
+        assert report.effective_jobs == 1
+
+
+class TestSessionPool:
+    def test_executor_is_persistent(self):
+        with Session() as session:
+            pool = session.executor(2)
+            assert session.executor(2) is pool
+
+    def test_executor_resized_on_different_jobs(self):
+        with Session() as session:
+            pool = session.executor(2)
+            resized = session.executor(3)
+            assert resized is not pool
+
+    def test_close_releases_and_reopens(self):
+        session = Session()
+        pool = session.executor(2)
+        session.close()
+        session.close()  # idempotent
+        assert session.executor(2) is not pool
+        session.close()
+
+    def test_executor_rejects_bad_jobs(self):
+        with Session() as session:
+            with pytest.raises(ValueError):
+                session.executor(0)
+
+    def test_sweep_reuses_session_pool(self, monkeypatch):
+        from repro.sweep import engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 8)
+        with Session() as session:
+            first = run_sweep(
+                [tiny_spec(seed=0), tiny_spec(seed=1)], jobs=2, session=session
+            )
+            pool = session._pool
+            assert pool is not None
+            second = run_sweep(
+                [tiny_spec(seed=2), tiny_spec(seed=3)], jobs=2, session=session
+            )
+            assert session._pool is pool
+        assert session._pool is None
+        assert first.counts()["error"] == 0
+        assert second.counts()["error"] == 0
+
+
+# ---------------------------------------------------------------------- #
 class TestGridDriversThroughSweep:
     def test_robustness_grid_prunes_and_reports_skipped(self):
         result = robustness_grid.run(
