@@ -15,7 +15,6 @@ Pass ``-s`` to see the printed tables.
 
 from __future__ import annotations
 
-import pytest
 
 #: Settings shared by the training-based benchmarks so each one stays in the
 #: seconds range.  Increase these (or pass scale="repro" to the experiment

@@ -6,7 +6,6 @@ slowest worker's analytic selection cost with and without stage two on the
 LM workload, whose embedding/decoder matrices dominate the model.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.analysis.cost import worker_selection_cost

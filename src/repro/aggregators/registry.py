@@ -55,7 +55,6 @@ _register(
     "krum",
     KrumAggregator,
     "Krum: the single contribution closest to its neighbours",
-    kwargs=(Kwarg("n_selected", "int", None, "override for the number of selected workers"),),
 )
 _register(
     "multi_krum",

@@ -15,7 +15,7 @@ ratios -- the quantities the paper reports -- are unaffected).
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

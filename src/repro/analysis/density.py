@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.training.trainer import TrainingResult
-from repro.utils.logging import RunLogger
 
 __all__ = ["density_trace", "density_statistics", "buildup_factor", "union_density"]
 

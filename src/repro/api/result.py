@@ -153,6 +153,7 @@ class RunResult:
             "kind": "run",
             "spec_key": spec_key,
             "source": source,
+            # repro: allow-wallclock(entry audit stamp; the regression sentinel compares metrics/phase_totals/traffic only)
             "ts": time.time(),
             "run_name": spec.run_name or self.logger.run_name,
             "run": {

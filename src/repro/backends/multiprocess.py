@@ -127,6 +127,7 @@ class MultiprocessBackend(CollectiveBackend):
     ) -> None:
         super().__init__(n_workers)
         self.meter = meter if meter is not None else TrafficMeter()
+        # repro: allow-hostenv(pool-size default only; an explicit procs spec field overrides it and spec_key drops procs for simulated runs)
         cpu = os.cpu_count() or 1
         if procs is None:
             procs = min(self.n_workers, cpu)
@@ -135,6 +136,11 @@ class MultiprocessBackend(CollectiveBackend):
         self.procs = min(int(procs), self.n_workers)
         self.fallback_ops = 0
         self.shm_ops = 0
+        #: Shutdown/unlink failures observed by ``close()``: arena close
+        #: errors, pipe close errors and shutdown-publish failures.  They
+        #: surface here (and in :meth:`mailbox_stats`) instead of vanishing
+        #: in silent handlers.
+        self.cleanup_errors = 0
         self._capacity_hint = int(capacity) if capacity else 0
         self._capacity = 0
         self._started = False
@@ -233,8 +239,8 @@ class MultiprocessBackend(CollectiveBackend):
                         if not any(p.is_alive() for p in self._processes):
                             break
                         time.sleep(_POLL_SLEEP)
-                except Exception:
-                    pass
+                except Exception:  # repro: isolation(shutdown publish is best-effort; failure is counted and workers are joined/terminated below)
+                    self.cleanup_errors += 1
                 for process in self._processes:
                     process.join(timeout=_SHUTDOWN_TIMEOUT_SECONDS)
                     if process.is_alive():
@@ -244,7 +250,7 @@ class MultiprocessBackend(CollectiveBackend):
                     try:
                         pipe.close()
                     except OSError:
-                        pass
+                        self.cleanup_errors += 1
         finally:
             # Unlink unconditionally -- even after a worker crash or a
             # shutdown timeout the parent owns every segment.
@@ -252,7 +258,8 @@ class MultiprocessBackend(CollectiveBackend):
                 self._mailbox_dropped = self._mailbox.dropped
                 self._mailbox_pending = len(self._mailbox)
             for arena in self._arenas:
-                arena.close()
+                if not arena.close():
+                    self.cleanup_errors += 1
             self._arenas = []
             self._data = self._out = self._params = None
             self._ctrl = None
@@ -261,13 +268,13 @@ class MultiprocessBackend(CollectiveBackend):
             self._pipes = []
             try:
                 atexit.unregister(self.close)
-            except Exception:
+            except Exception:  # repro: isolation(atexit machinery may already be torn down at interpreter exit; nothing leaks)
                 pass
 
     def __del__(self) -> None:  # pragma: no cover - GC-order dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro: isolation(GC finalizer; close() itself counts failures on cleanup_errors)
             pass
 
     # ------------------------------------------------------------------ #
@@ -299,11 +306,11 @@ class MultiprocessBackend(CollectiveBackend):
                     self._worker_compute(message, pipe)
                     continue
                 time.sleep(_POLL_SLEEP)
-        except Exception:
+        except Exception:  # repro: isolation(worker crash is recorded via the control-block error flag and the traceback pipe)
             try:
                 self._ctrl.flag_error(proc_index)
                 pipe.send(("err", proc_index, traceback.format_exc()))
-            except Exception:
+            except Exception:  # repro: isolation(parent pipe may already be gone; the error flag is the fallback signal)
                 pass
         finally:
             # Skip every parent-inherited teardown path (atexit handlers,
@@ -585,6 +592,7 @@ class MultiprocessBackend(CollectiveBackend):
             "drained": self._mailbox_drained,
             "dropped": dropped,
             "pending": pending,
+            "cleanup_errors": self.cleanup_errors,
         }
 
     # ------------------------------------------------------------------ #

@@ -89,6 +89,9 @@ class SharedArena:
         self._shm = shared_memory.SharedMemory(name=self.name, create=True, size=nbytes)
         self._owner_pid = os.getpid()
         self._closed = False
+        #: Close/unlink failures observed so far; surfaced by the backend's
+        #: ``cleanup_errors`` counter instead of vanishing.
+        self.close_errors = 0
         self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
         self.array.fill(0)
 
@@ -96,27 +99,38 @@ class SharedArena:
     def owned(self) -> bool:
         return os.getpid() == self._owner_pid
 
-    def close(self) -> None:
-        """Release the mapping and (in the creating process) unlink it."""
+    def close(self) -> bool:
+        """Release the mapping and (in the creating process) unlink it.
+
+        Returns ``True`` when every release step succeeded; failures bump
+        :attr:`close_errors` so callers can fold them into their own
+        cleanup accounting.
+        """
         if self._closed or not self.owned:
-            return
+            return True
         self._closed = True
         # Drop the numpy view first: SharedMemory.close() refuses to
         # release a buffer that still has exported views.
         self.array = None
+        ok = True
         try:
             self._shm.close()
         except (OSError, BufferError):  # pragma: no cover - platform quirks
-            pass
+            ok = False
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
+        except OSError:  # pragma: no cover - platform quirks
+            ok = False
+        if not ok:
+            self.close_errors += 1
+        return ok
 
     def __del__(self) -> None:  # pragma: no cover - GC-order dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro: isolation(interpreter-teardown finalizer; close() itself narrows and counts failures)
             pass
 
 

@@ -344,6 +344,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             "throughput numbers; skipped by default)")
     check.add_argument("--json", action="store_true", dest="as_json")
 
+    lint = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (determinism, plugin "
+             "contracts, metering parity, exception discipline, API drift); "
+             "non-zero exit on any unannotated finding",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: the repro "
+                           "package; explicit paths run the per-file rules "
+                           "only)")
+    lint.add_argument("--rules", default=None, metavar="NAME[,NAME...]",
+                      help="comma-separated rule filter (see --list-rules)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the report as JSON")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list rule names and the pragma vocabulary")
+
     return parser
 
 
@@ -949,6 +966,22 @@ def _command_check(args) -> int:
     return 1 if failed else 0
 
 
+def _command_lint(args) -> int:
+    """``repro lint``: delegate to the shared devtools driver."""
+    # Imported lazily: the lint machinery is dev-time only and the other
+    # verbs must not pay for it.
+    from repro.devtools.runner import lint_main
+
+    argv = list(args.paths)
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.as_json:
+        argv.append("--json")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv, prog="repro lint")
+
+
 def main(argv: Optional[list] = None) -> int:
     """Entry point used by ``python -m repro``."""
     parser = _build_parser()
@@ -979,6 +1012,8 @@ def main(argv: Optional[list] = None) -> int:
         return _command_compare(args)
     if args.command == "check":
         return _command_check(args)
+    if args.command == "lint":
+        return _command_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict
 
 __all__ = ["AlphaBetaModel", "CommunicationCost"]
 

@@ -18,7 +18,7 @@ priced exactly as before the topology-aware routing existed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 

@@ -10,7 +10,7 @@ which backend executed the collective.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 __all__ = ["CollectiveRecord", "TrafficMeter"]

@@ -42,6 +42,7 @@ class DataLoader:
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self.drop_last = bool(drop_last)
+        # repro: allow-unseeded(convenience fallback; the trainer always injects a seeded Generator)
         self.rng = rng if rng is not None else np.random.default_rng()
 
     def __len__(self) -> int:

@@ -10,7 +10,7 @@ convergence-rate comparisons between sparsifiers meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

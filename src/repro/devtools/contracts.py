@@ -1,0 +1,220 @@
+"""Plugin-contract checker (rule ``plugin-contract``).
+
+A ``ComponentSpec`` promises three things a registration cannot verify
+locally: that its kwargs schema matches what the builder actually
+accepts (a mismatch passes ``coerce_kwargs`` and then ``TypeError``s at
+build time, deep inside a run), that its capability flags come from the
+closed vocabulary the validation matrix reads
+(:data:`~repro.plugins.capabilities.CAPABILITY_VOCABULARY` -- a typo'd
+flag silently disables a rule), and that it round-trips through the
+``describe`` surface the CLI and the API snapshot expose.
+
+This is a semi-static pass: it imports the registry (cheap -- no runs,
+no processes) and cross-checks every registered spec, then AST-scans
+``plugins/capabilities.py`` so every flag the helpers consume is itself
+in the vocabulary.  Findings are attributed to the registry module that
+declared the offending spec.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.devtools.core import Finding
+
+__all__ = ["check_plugin_contracts"]
+
+
+def _registry_site(kind: str, name: str) -> Tuple[str, int]:
+    """Best-effort ``(display_path, line)`` of one spec's registration."""
+    import importlib
+
+    from repro.plugins.registry import _BUILTIN_MODULES
+
+    module_name = _BUILTIN_MODULES.get(kind)
+    if module_name is None:
+        return f"<registry kind {kind}>", 1
+    module = importlib.import_module(module_name)
+    path = Path(module.__file__).resolve()
+    import repro
+
+    root = Path(repro.__file__).resolve().parents[2]
+    try:
+        display = str(path.relative_to(root))
+    except ValueError:
+        display = "/".join(path.parts[-3:])
+    try:
+        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            if f'"{name}"' in line or f"'{name}'" in line:
+                return display, lineno
+    except OSError:
+        pass
+    return display, 1
+
+
+def _builder_accepts(builder, kwarg_name: str) -> bool:
+    try:
+        signature = inspect.signature(builder)
+    except (TypeError, ValueError):
+        return True  # uninspectable builders (C callables) get the benefit
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == kwarg_name and param.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def _vocabulary_consumers() -> List[Tuple[int, str]]:
+    """``(line, flag)`` for every capability literal read in capabilities.py."""
+    from repro.plugins import capabilities
+
+    tree = ast.parse(Path(capabilities.__file__).read_text(encoding="utf-8"))
+    out: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        target = node.func
+        is_caps_get = target.attr == "get" and isinstance(target.value, ast.Name) and (
+            target.value.id in ("caps", "topo_caps")
+        )
+        is_capability = target.attr == "capability"
+        if not (is_caps_get or is_capability):
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant):
+            flag = node.args[0].value
+            if isinstance(flag, str):
+                out.append((node.lineno, flag))
+    return out
+
+
+def check_plugin_contracts() -> List[Finding]:
+    from repro import api
+    from repro.plugins.capabilities import CAPABILITY_VOCABULARY
+    from repro.plugins.registry import (
+        _BUILTIN_MODULES,
+        component_kinds,
+        get_component,
+        load_builtin_components,
+    )
+    from repro.plugins.registry import available_components
+
+    findings: List[Finding] = []
+    load_builtin_components()
+
+    registered_kinds = set(component_kinds())
+    declared_kinds = set(_BUILTIN_MODULES)
+    for kind in sorted(declared_kinds - registered_kinds):
+        findings.append(
+            Finding(
+                "src/repro/plugins/registry.py",
+                1,
+                "plugin-contract",
+                f"kind {kind!r} is declared in _BUILTIN_MODULES but its module "
+                "registers nothing",
+            )
+        )
+    for kind in sorted(registered_kinds - declared_kinds):
+        findings.append(
+            Finding(
+                "src/repro/plugins/registry.py",
+                1,
+                "plugin-contract",
+                f"kind {kind!r} is registered but missing from _BUILTIN_MODULES; "
+                "'repro list' discovery will not load it",
+            )
+        )
+
+    for kind in sorted(registered_kinds):
+        for name in available_components(kind):
+            spec = get_component(kind, name)
+            path, line = _registry_site(kind, name)
+
+            for kwarg in spec.kwargs:
+                if not _builder_accepts(spec.builder, kwarg.name):
+                    findings.append(
+                        Finding(
+                            path,
+                            line,
+                            "plugin-contract",
+                            f"{kind}/{name} declares kwarg {kwarg.name!r} that "
+                            f"builder {getattr(spec.builder, '__name__', spec.builder)!r} "
+                            "does not accept; coerce_kwargs would pass and the "
+                            "build would TypeError at run time",
+                        )
+                    )
+
+            for flag in sorted(spec.capabilities):
+                if flag not in CAPABILITY_VOCABULARY:
+                    known = ", ".join(sorted(CAPABILITY_VOCABULARY))
+                    findings.append(
+                        Finding(
+                            path,
+                            line,
+                            "plugin-contract",
+                            f"{kind}/{name} declares capability {flag!r} outside "
+                            f"the closed vocabulary (known: {known})",
+                        )
+                    )
+
+            try:
+                described = api.describe_component(f"{kind}/{name}")
+            except Exception as exc:
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "plugin-contract",
+                        f"{kind}/{name} does not round-trip through describe: {exc!r}",
+                    )
+                )
+                continue
+            if described != spec.to_dict():
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "plugin-contract",
+                        f"{kind}/{name} describe output diverges from "
+                        "ComponentSpec.to_dict()",
+                    )
+                )
+                continue
+            try:
+                if json.loads(json.dumps(described)) != described:
+                    raise ValueError("JSON round-trip changed the payload")
+            except (TypeError, ValueError) as exc:
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "plugin-contract",
+                        f"{kind}/{name} describe output is not JSON-stable: {exc}",
+                    )
+                )
+
+    consumed: Dict[str, int] = {}
+    for lineno, flag in _vocabulary_consumers():
+        consumed.setdefault(flag, lineno)
+    from repro.plugins.capabilities import CAPABILITY_VOCABULARY as vocabulary
+
+    for flag, lineno in sorted(consumed.items()):
+        if flag not in vocabulary:
+            findings.append(
+                Finding(
+                    "src/repro/plugins/capabilities.py",
+                    lineno,
+                    "plugin-contract",
+                    f"validation helper reads capability {flag!r} that is not in "
+                    "CAPABILITY_VOCABULARY; the vocabulary must cover every "
+                    "consumed flag",
+                )
+            )
+    return findings

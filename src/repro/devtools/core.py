@@ -1,0 +1,243 @@
+"""Shared lint core: findings, suppression pragmas and the module model.
+
+Every AST rule operates on a :class:`SourceModule` -- one parsed file
+with its import-alias table and pragma table precomputed -- and reports
+:class:`Finding` rows.  Suppression uses structured comments::
+
+    stamped.setdefault("ts", time.time())  # repro: allow-wallclock(ledger audit stamp)
+
+    # repro: isolation(per-cell failure is recorded on the report)
+    except Exception as exc:
+
+A pragma suppresses findings of its associated rule on its own line or,
+when written as a standalone comment, on the next line.  The directive
+vocabulary is closed (:data:`DIRECTIVES`); unknown directives and empty
+reasons are findings in their own right (rule ``pragma``), so the escape
+hatch cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DIRECTIVES",
+    "Finding",
+    "Pragma",
+    "SourceModule",
+    "discover_files",
+    "load_module",
+]
+
+#: Closed pragma vocabulary: directive -> the rule it suppresses.
+DIRECTIVES: Dict[str, str] = {
+    "allow-wallclock": "wallclock",
+    "allow-unseeded": "unseeded-rng",
+    "allow-hostenv": "hostenv",
+    "isolation": "broad-except",
+}
+
+_PRAGMA_RE = re.compile(r"repro:\s*(?P<directive>[A-Za-z-]+)\s*\((?P<reason>[^)]*)\)")
+_PRAGMA_MARKER_RE = re.compile(r"repro:\s*(?P<directive>[A-Za-z-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, printable as ``file:line rule message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro: directive(reason)`` comment."""
+
+    line: int
+    directive: str
+    reason: str
+    #: True when the comment had no code on its line, so it governs the
+    #: next line instead of its own.
+    standalone: bool
+
+
+def _iter_comments(text: str) -> Iterable[Tuple[int, int, str]]:
+    """Yield ``(line, column, comment_text)`` for every comment token.
+
+    Falls back to a line regex when the file does not tokenize (the lint
+    still reports syntax errors separately; pragmas in such files are
+    best-effort).
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            pos = raw.find("#")
+            if pos >= 0:
+                yield lineno, pos, raw[pos:]
+        return
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            yield tok.start[0], tok.start[1], tok.string
+
+
+def parse_pragmas(text: str) -> Tuple[List[Pragma], List[Tuple[int, str]]]:
+    """Extract pragmas and pragma-syntax errors from one file's source.
+
+    Returns ``(pragmas, errors)`` where each error is ``(line, message)``
+    reported under the ``pragma`` rule.
+    """
+    pragmas: List[Pragma] = []
+    errors: List[Tuple[int, str]] = []
+    lines = text.splitlines()
+    for lineno, col, comment in _iter_comments(text):
+        if "repro:" not in comment:
+            continue
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            marker = _PRAGMA_MARKER_RE.search(comment)
+            directive = marker.group("directive") if marker else "?"
+            errors.append(
+                (lineno, f"malformed pragma {directive!r}: expected 'repro: directive(reason)'")
+            )
+            continue
+        directive = match.group("directive")
+        reason = match.group("reason").strip()
+        if directive not in DIRECTIVES:
+            known = ", ".join(sorted(DIRECTIVES))
+            errors.append((lineno, f"unknown pragma directive {directive!r} (known: {known})"))
+            continue
+        if not reason:
+            errors.append((lineno, f"pragma {directive!r} requires a non-empty reason"))
+            continue
+        before = lines[lineno - 1][:col] if lineno - 1 < len(lines) else ""
+        pragmas.append(
+            Pragma(line=lineno, directive=directive, reason=reason, standalone=not before.strip())
+        )
+    return pragmas, errors
+
+
+class SourceModule:
+    """One parsed source file with alias and pragma tables.
+
+    ``aliases`` maps local names to canonical dotted module paths
+    (``np`` -> ``numpy``, and for ``from time import time`` the local
+    ``time`` -> ``time.time``), so rules match canonical call paths
+    regardless of import spelling.
+    """
+
+    def __init__(self, path: Path, display_path: str, text: str):
+        self.path = path
+        self.display_path = display_path
+        self.text = text
+        self.syntax_error: Optional[str] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(text)
+        except SyntaxError as exc:
+            self.tree = None
+            self.syntax_error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        self.pragmas, self.pragma_errors = parse_pragmas(text)
+        self._suppress: Dict[Tuple[str, int], Pragma] = {}
+        for pragma in self.pragmas:
+            rule = DIRECTIVES[pragma.directive]
+            target = pragma.line + 1 if pragma.standalone else pragma.line
+            self._suppress[(rule, target)] = pragma
+            # A trailing pragma on the first physical line of a multi-line
+            # statement also covers the statement header line itself.
+            self._suppress.setdefault((rule, pragma.line), pragma)
+        self.aliases = self._collect_aliases(self.tree) if self.tree else {}
+
+    @staticmethod
+    def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue  # relative imports are project-internal
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, or ``None``."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = self.aliases.get(parts[0])
+        if root is not None:
+            parts = root.split(".") + parts[1:]
+        return ".".join(parts)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        return (rule, line) in self._suppress
+
+    def finding(self, rule: str, line: int, message: str) -> Optional[Finding]:
+        """Build a finding unless a pragma suppresses it."""
+        if self.suppressed(rule, line):
+            return None
+        return Finding(path=self.display_path, line=line, rule=rule, message=message)
+
+
+def load_module(path: Path, root: Optional[Path] = None) -> SourceModule:
+    """Read and parse one file; ``root`` controls the displayed path."""
+    text = path.read_text(encoding="utf-8")
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(path.relative_to(root))
+        except ValueError:
+            display = str(path)
+    return SourceModule(path=path, display_path=display, text=text)
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+    seen = set()
+    unique: List[Path] = []
+    for p in out:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique

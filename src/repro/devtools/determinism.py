@@ -1,0 +1,168 @@
+"""Determinism lint: wall-clock, unseeded RNG and host-environment probes.
+
+Three sub-rules over the shared :class:`~repro.devtools.core.SourceModule`:
+
+``wallclock``
+    ``time.time()`` and ``datetime`` "now" constructors.  A wall-clock
+    read in a priced or cached path breaks spec-addressed cache hits and
+    ledger comparability; monotonic spans (``time.perf_counter`` /
+    ``time.monotonic``) stay allowed because they never enter compared
+    payloads.  Legitimate audit stamps carry
+    ``# repro: allow-wallclock(<reason>)``.
+
+``unseeded-rng``
+    RNG state that does not flow from the run's seed: zero-argument
+    ``numpy.random.default_rng()`` / ``random.Random()``, the legacy
+    ``numpy.random`` module-level draws (global state), reseeding of
+    global state, and the stdlib ``random`` module functions.  Escape:
+    ``# repro: allow-unseeded(<reason>)``.
+
+``hostenv``
+    ``os.cpu_count()`` / ``multiprocessing.cpu_count()`` -- values that
+    differ across hosts and must therefore never shape a resolved spec
+    or a compared metric.  Escape: ``# repro: allow-hostenv(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.devtools.core import Finding, SourceModule
+
+__all__ = ["check_determinism"]
+
+_WALLCLOCK_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock constructor",
+    "datetime.datetime.utcnow": "wall-clock constructor",
+    "datetime.datetime.today": "wall-clock constructor",
+    "datetime.date.today": "wall-clock constructor",
+}
+
+_HOSTENV_CALLS = {
+    "os.cpu_count": "host CPU count",
+    "os.process_cpu_count": "host CPU count",
+    "multiprocessing.cpu_count": "host CPU count",
+}
+
+#: Legacy module-level numpy draws -- all share hidden global state.
+_NP_GLOBAL_DRAWS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "laplace", "lognormal", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_sample", "ranf", "sample", "shuffle", "standard_normal",
+    "uniform",
+}
+
+#: stdlib ``random`` module-level functions (global Mersenne state).
+_STDLIB_RANDOM_FUNCS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "normalvariate", "randbytes", "randint", "random",
+    "randrange", "sample", "shuffle", "triangular", "uniform",
+}
+
+
+def _has_positional_seed(call: ast.Call) -> bool:
+    """True when the call receives any argument (treated as a seed)."""
+    return bool(call.args) or bool(call.keywords)
+
+
+def check_determinism(module: SourceModule) -> List[Finding]:
+    findings: List[Finding] = []
+    if module.tree is None:
+        return findings
+
+    def emit(rule: str, line: int, message: str) -> None:
+        finding = module.finding(rule, line, message)
+        if finding is not None:
+            findings.append(finding)
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = module.dotted(node.func)
+        if dotted is None:
+            continue
+
+        if dotted in _WALLCLOCK_CALLS:
+            emit(
+                "wallclock",
+                node.lineno,
+                f"{dotted}() is a {_WALLCLOCK_CALLS[dotted]}; it breaks "
+                "spec-addressed caching and ledger comparability -- use the "
+                "virtual clock / perf_counter, or annotate with "
+                "'# repro: allow-wallclock(reason)'",
+            )
+            continue
+
+        if dotted in _HOSTENV_CALLS:
+            emit(
+                "hostenv",
+                node.lineno,
+                f"{dotted}() reads the {_HOSTENV_CALLS[dotted]}; host-"
+                "dependent values must not shape resolved specs or compared "
+                "metrics -- annotate with '# repro: allow-hostenv(reason)' "
+                "if the value provably stays out of both",
+            )
+            continue
+
+        if dotted == "numpy.random.default_rng" and not _has_positional_seed(node):
+            emit(
+                "unseeded-rng",
+                node.lineno,
+                "numpy.random.default_rng() without a seed draws entropy "
+                "from the OS; derive the generator from the run seed "
+                "(repro.utils.seeding) or annotate with "
+                "'# repro: allow-unseeded(reason)'",
+            )
+            continue
+
+        if dotted == "numpy.random.seed":
+            emit(
+                "unseeded-rng",
+                node.lineno,
+                "numpy.random.seed() mutates hidden global RNG state; use "
+                "an explicit Generator derived from the run seed",
+            )
+            continue
+
+        parts = dotted.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] in _NP_GLOBAL_DRAWS
+        ):
+            emit(
+                "unseeded-rng",
+                node.lineno,
+                f"{dotted}() draws from numpy's hidden global RNG state; "
+                "use an explicit Generator derived from the run seed",
+            )
+            continue
+
+        if dotted == "random.Random" and not _has_positional_seed(node):
+            emit(
+                "unseeded-rng",
+                node.lineno,
+                "random.Random() without a seed draws entropy from the OS; "
+                "pass a seed derived from the run seed",
+            )
+            continue
+
+        if (
+            len(parts) == 2
+            and parts[0] == "random"
+            and (parts[1] in _STDLIB_RANDOM_FUNCS or parts[1] == "seed")
+        ):
+            emit(
+                "unseeded-rng",
+                node.lineno,
+                f"{dotted}() uses the stdlib global RNG state; use a "
+                "numpy Generator derived from the run seed",
+            )
+            continue
+
+    return findings

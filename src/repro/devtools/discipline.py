@@ -1,0 +1,99 @@
+"""Exception-discipline lint (rule ``broad-except``).
+
+A broad handler -- bare ``except``, ``except Exception`` /
+``BaseException``, or a tuple containing either -- is only acceptable
+when it is a deliberate isolation point.  The rule accepts a handler
+that does any of:
+
+* re-raises (any ``raise`` in the handler body),
+* uses the bound error (``except Exception as exc`` with ``exc`` read in
+  the body -- e.g. recorded into a result / ledger structure),
+* carries an ``# repro: isolation(<reason>)`` pragma on the ``except``
+  line or the comment line directly above it.
+
+Everything else silently swallows failures the run ledger and the
+regression sentinel would otherwise have surfaced, so it is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.devtools.core import Finding, SourceModule
+
+__all__ = ["check_exception_discipline"]
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _broad_name(module: SourceModule, node: ast.AST) -> str:
+    """The broad exception name caught by ``node``, or ``""``."""
+    dotted = module.dotted(node)
+    if dotted in _BROAD_NAMES:
+        return dotted
+    if dotted is not None and dotted.startswith("builtins."):
+        short = dotted.split(".", 1)[1]
+        if short in _BROAD_NAMES:
+            return short
+    return ""
+
+
+def _handler_breadth(module: SourceModule, handler: ast.ExceptHandler) -> str:
+    if handler.type is None:
+        return "bare except"
+    if isinstance(handler.type, ast.Tuple):
+        for elt in handler.type.elts:
+            name = _broad_name(module, elt)
+            if name:
+                return f"except tuple containing {name}"
+        return ""
+    name = _broad_name(module, handler.type)
+    return f"except {name}" if name else ""
+
+
+def _walk_handler_body(handler: ast.ExceptHandler):
+    """Walk the handler body without descending into nested scopes."""
+    stack = list(handler.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _handler_is_disciplined(handler: ast.ExceptHandler) -> bool:
+    bound = handler.name
+    for node in _walk_handler_body(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if bound and isinstance(node, ast.Name) and node.id == bound:
+            return True
+    return False
+
+
+def check_exception_discipline(module: SourceModule) -> List[Finding]:
+    findings: List[Finding] = []
+    if module.tree is None:
+        return findings
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        breadth = _handler_breadth(module, node)
+        if not breadth:
+            continue
+        if _handler_is_disciplined(node):
+            continue
+        finding = module.finding(
+            "broad-except",
+            node.lineno,
+            f"{breadth} neither re-raises, uses the bound error, nor "
+            "carries '# repro: isolation(reason)' -- silent failure "
+            "swallowing hides errors from the ledger and the regression "
+            "sentinel",
+        )
+        if finding is not None:
+            findings.append(finding)
+    return findings

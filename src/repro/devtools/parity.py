@@ -1,0 +1,148 @@
+"""Metering-parity check (rule ``metering-parity``).
+
+The regression sentinel compares traffic summaries across backends, and
+PR 8's bit-identity tests assume ``MultiprocessBackend`` is a drop-in
+for ``SimulatedBackend``.  Both guarantees have drifted by hand before
+(the pricing bugs fixed in PRs 1 and 5), so this rule checks them
+statically:
+
+* every public method on ``SimulatedBackend`` exists on
+  ``MultiprocessBackend`` (the reverse is allowed -- the real backend
+  carries extra compute-offload surface);
+* for every shared public method, the set of ``self.meter.record("<op>",
+  ...)`` op literals is identical, so the two backends price the same
+  call with byte-identical traffic entries.
+
+The check is purely syntactic (AST over the two module files) and never
+imports or starts worker processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.core import Finding
+
+__all__ = ["check_metering_parity"]
+
+_SIMULATED = ("repro/comm/simulated.py", "SimulatedBackend")
+_MULTIPROCESS = ("repro/backends/multiprocess.py", "MultiprocessBackend")
+
+
+def _default_path(relative: str) -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent / relative
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _meter_ops(func: ast.FunctionDef) -> Set[str]:
+    """Op literals recorded via ``self.meter.record("<op>", ...)``."""
+    ops: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        if not (isinstance(target, ast.Attribute) and target.attr == "record"):
+            continue
+        meter = target.value
+        if not (
+            isinstance(meter, ast.Attribute)
+            and meter.attr == "meter"
+            and isinstance(meter.value, ast.Name)
+            and meter.value.id == "self"
+        ):
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                ops.add(value)
+    return ops
+
+
+def _public_methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, ast.FunctionDef) and not node.name.startswith("_")
+    }
+
+
+def _load_class(
+    path: Path, class_name: str, display: str
+) -> Tuple[Optional[ast.ClassDef], List[Finding]]:
+    if not path.is_file():
+        return None, [
+            Finding(display, 1, "metering-parity", f"backend module not found: {path}")
+        ]
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as exc:
+        return None, [
+            Finding(display, exc.lineno or 1, "metering-parity", f"syntax error: {exc.msg}")
+        ]
+    cls = _find_class(tree, class_name)
+    if cls is None:
+        return None, [
+            Finding(display, 1, "metering-parity", f"class {class_name} not found in {path.name}")
+        ]
+    return cls, []
+
+
+def check_metering_parity(
+    simulated_path: Optional[Path] = None,
+    multiprocess_path: Optional[Path] = None,
+) -> List[Finding]:
+    sim_rel, sim_cls_name = _SIMULATED
+    mp_rel, mp_cls_name = _MULTIPROCESS
+    sim_path = simulated_path or _default_path(sim_rel)
+    mp_path = multiprocess_path or _default_path(mp_rel)
+    sim_display = sim_rel if simulated_path is None else str(simulated_path)
+    mp_display = mp_rel if multiprocess_path is None else str(multiprocess_path)
+
+    findings: List[Finding] = []
+    sim_cls, errors = _load_class(sim_path, sim_cls_name, sim_display)
+    findings.extend(errors)
+    mp_cls, errors = _load_class(mp_path, mp_cls_name, mp_display)
+    findings.extend(errors)
+    if sim_cls is None or mp_cls is None:
+        return findings
+
+    sim_methods = _public_methods(sim_cls)
+    mp_methods = _public_methods(mp_cls)
+
+    for name, func in sorted(sim_methods.items()):
+        if name not in mp_methods:
+            findings.append(
+                Finding(
+                    sim_display,
+                    func.lineno,
+                    "metering-parity",
+                    f"{sim_cls_name}.{name} has no {mp_cls_name} counterpart; "
+                    "the multiprocess backend must stay a drop-in replacement",
+                )
+            )
+            continue
+        sim_ops = _meter_ops(func)
+        mp_ops = _meter_ops(mp_methods[name])
+        if sim_ops != mp_ops:
+            findings.append(
+                Finding(
+                    mp_display,
+                    mp_methods[name].lineno,
+                    "metering-parity",
+                    f"{mp_cls_name}.{name} records meter ops "
+                    f"{sorted(mp_ops) or '[]'} but {sim_cls_name}.{name} records "
+                    f"{sorted(sim_ops) or '[]'}; traffic entries must be "
+                    "byte-identical across backends",
+                )
+            )
+    return findings

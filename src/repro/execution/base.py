@@ -23,7 +23,7 @@ reflects stragglers and server traffic, not just collective payloads.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

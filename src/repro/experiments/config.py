@@ -8,8 +8,8 @@ equivalent of each workload at a chosen scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.training.tasks import (
     ImageClassificationTask,

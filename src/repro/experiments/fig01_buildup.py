@@ -10,9 +10,8 @@ their summary statistics per worker count.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.analysis.density import density_statistics
 from repro.experiments import config as expcfg

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.analysis.speedup import measure_selection_speedup
 from repro.experiments import config as expcfg

@@ -8,7 +8,7 @@ coordination overhead).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.properties import measure_properties
 from repro.experiments import config as expcfg

@@ -26,6 +26,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = float(p)
+        # repro: allow-unseeded(convenience fallback; the trainer always injects a seeded Generator)
         self.rng = rng if rng is not None else np.random.default_rng()
 
     def forward(self, x: Tensor) -> Tensor:

@@ -85,6 +85,7 @@ class RunLedger:
             raise ValueError("ledger entries require a non-empty 'spec_key'")
         stamped.setdefault("schema", LEDGER_SCHEMA)
         stamped.setdefault("kind", "run")
+        # repro: allow-wallclock(audit timestamp on the ledger row; never read by spec_key or comparable_metrics)
         stamped.setdefault("ts", time.time())
         line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
         data = (line + "\n").encode("utf-8")

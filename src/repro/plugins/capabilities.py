@@ -19,6 +19,7 @@ from typing import Any, Iterable, Iterator, Mapping, Optional, Tuple
 from repro.plugins.registry import get_component
 
 __all__ = [
+    "CAPABILITY_VOCABULARY",
     "default_aggregator_for",
     "default_topology_for",
     "check_execution_supports_attack",
@@ -30,6 +31,45 @@ __all__ = [
     "combination_refusal",
     "valid_grid_cells",
 ]
+
+
+#: The closed capability vocabulary.  Every flag a ``ComponentSpec`` may
+#: declare is listed here with what it means; the validation helpers below
+#: consume a subset, the rest drive defaults, pruning and documentation.
+#: ``repro lint``'s plugin-contract rule rejects registrations that declare
+#: flags outside this table and cross-checks that every flag these helpers
+#: read is listed, so the vocabulary cannot drift in either direction.
+CAPABILITY_VOCABULARY: Mapping[str, str] = {
+    # -- attacks -------------------------------------------------------- #
+    "colluding": "attack needs a synchronized view of every worker's update",
+    "corrupts_data": "attack poisons training data rather than gradients",
+    "deterministic_oracle": "attack output is a pure function of benign updates",
+    # -- execution models ----------------------------------------------- #
+    "compute_offload": "schedule can ship gradient computation to backend workers",
+    "default_aggregator": "aggregation rule the schedule runs with when none is chosen",
+    "default_topology": "topology the schedule assumes when none is configured",
+    "exchanges_gradients": "workers put gradient accumulators on the wire",
+    "local_models": "every worker holds its own model replica",
+    "parameter_server": "exchanges route through a parameter server",
+    "requires_gather": "aggregation needs every contribution gathered to one rank",
+    "requires_neighbor_topology": "schedule exchanges deltas over topology edges",
+    "staleness_aware": "schedule weighs contributions by their age",
+    "supports_momentum": "optimizer momentum/weight-decay reach the update",
+    "synchronized_view": "all workers observe the same group state per round",
+    "uses_aggregator": "schedule invokes the pluggable aggregation rule",
+    "worker_idling": "stragglers leave workers idle under this schedule",
+    # -- sparsifiers ---------------------------------------------------- #
+    "gradient_buildup": "un-sent coordinates accumulate locally across rounds",
+    "supports_robust_norms": "sparsifier can coordinate shared layer norms",
+    # -- aggregators ---------------------------------------------------- #
+    "needs_hyperparameter_tuning": "rule has knobs that materially change results",
+    "robust": "aggregation rule tolerates Byzantine contributions",
+    # -- topologies ----------------------------------------------------- #
+    "neighbor_graph": "topology defines per-rank neighbour edges",
+    "one_hop_server": "topology prices an unplaced server at one hop",
+    # -- backends ------------------------------------------------------- #
+    "real_processes": "backend runs OS worker processes (not simulated)",
+}
 
 
 def default_aggregator_for(execution: str) -> str:

@@ -10,7 +10,7 @@ the paper's central heuristic.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -9,13 +9,12 @@ threshold must be tuned per model/dataset (Table 1).
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Optional
 
 import numpy as np
 
-from repro.sparsifiers.base import GradientLayout, SelectionResult, Sparsifier
+from repro.sparsifiers.base import SelectionResult, Sparsifier
 from repro.utils.topk_ops import threshold_indices, topk_threshold
 
 __all__ = ["HardThresholdSparsifier"]

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import math
 import time
-from typing import List
 
 import numpy as np
 

@@ -147,7 +147,7 @@ def _run_cell(spec_dict: dict) -> Tuple[str, object, float]:
         spec = RunSpec.from_dict(spec_dict)
         result = _worker_session().run(spec)
         return "ok", result.to_dict(), time.perf_counter() - start
-    except Exception as exc:  # per-cell failure isolation
+    except Exception as exc:  # repro: isolation(per-cell failure; recorded on the report as an error outcome)
         message = f"{type(exc).__name__}: {exc}"
         return "error", message, time.perf_counter() - start
 
@@ -281,7 +281,7 @@ def _clamp_jobs(requested: int, miss_specs: Sequence[RunSpec]):
     so the effective pool is ``cpu_count // max_cell_weight``, floored at
     serial.  Returns ``(effective_jobs, reason-or-None)``.
     """
-    cpu = os.cpu_count() or 1
+    cpu = os.cpu_count() or 1  # repro: allow-hostenv(pool sizing only; never enters specs, results or cache keys)
     weight = max((_cell_weight(spec, cpu) for spec in miss_specs), default=1)
     budget = max(1, cpu // weight)
     effective = min(requested, budget, len(miss_specs))
@@ -390,7 +390,7 @@ def _run_serial(
         try:
             result = session.run(spec)
             _settle(report, index, "ok", result, time.perf_counter() - cell_start, cache, progress, metrics, ledger)
-        except Exception as exc:  # per-cell failure isolation
+        except Exception as exc:  # repro: isolation(per-cell failure; recorded on the report as an error outcome)
             message = f"{type(exc).__name__}: {exc}"
             _settle(report, index, "error", message, time.perf_counter() - cell_start, cache, progress, metrics, ledger)
 
@@ -428,7 +428,7 @@ def _run_parallel(
                 index = pending.pop(future)
                 try:
                     status, payload, seconds = future.result()
-                except Exception as exc:  # worker died (OOM, signal, ...)
+                except Exception as exc:  # repro: isolation(worker died -- OOM, signal; settled as an error outcome)
                     status, payload, seconds = "error", f"{type(exc).__name__}: {exc}", 0.0
                 if metrics is not None:
                     # Time the cell spent submitted but not executing:

@@ -144,6 +144,7 @@ def dropout(
         raise ValueError("dropout probability must be in [0, 1)")
     if not training or p == 0.0:
         return x
+    # repro: allow-unseeded(convenience fallback; the Dropout module owns the seeded Generator)
     rng = rng if rng is not None else np.random.default_rng()
     mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
     return x * Tensor(mask)

@@ -43,6 +43,7 @@ def calculate_fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
 
 
 def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    # repro: allow-unseeded(convenience fallback; model builders pass rngs derived from the run seed)
     return rng if rng is not None else np.random.default_rng()
 
 

@@ -234,6 +234,7 @@ class Tensor:
         dtype=np.float32,
         scale: float = 1.0,
     ) -> "Tensor":
+        # repro: allow-unseeded(convenience fallback; model builders pass rngs derived from the run seed)
         rng = rng if rng is not None else np.random.default_rng()
         data = (rng.standard_normal(shape) * scale).astype(dtype)
         return Tensor(data, requires_grad=requires_grad, dtype=dtype)

@@ -14,7 +14,6 @@ Figures 5 and 6.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

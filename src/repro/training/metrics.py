@@ -11,7 +11,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

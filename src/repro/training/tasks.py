@@ -15,9 +15,9 @@ import numpy as np
 
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import Dataset
-from repro.data.synthetic_images import SyntheticImageDataset, make_image_classification
+from repro.data.synthetic_images import make_image_classification
 from repro.data.synthetic_ratings import SyntheticRatingsDataset, make_implicit_feedback
-from repro.data.synthetic_text import SyntheticTextCorpus, make_language_modeling
+from repro.data.synthetic_text import make_language_modeling
 from repro.models.lstm_lm import LSTMLanguageModel
 from repro.models.ncf import NeuralCollaborativeFiltering
 from repro.models.resnet import resnet_cifar

@@ -13,7 +13,7 @@ communication time comes from the alpha-beta model rather than wall clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 __all__ = ["IterationTiming", "TimingAccumulator"]

@@ -59,7 +59,6 @@ from repro.aggregators.registry import build_aggregator
 from repro.attacks.base import Adversary
 from repro.attacks.registry import build_attack
 from repro.comm.cost_model import AlphaBetaModel
-from repro.comm.simulated import SimulatedBackend
 from repro.data.dataloader import DataLoader
 from repro.data.partition import shard_dataset
 from repro.comm.backend import CollectiveBackend

@@ -95,6 +95,7 @@ class RunLogger:
         self.run_name = run_name
         self.metadata: Dict[str, object] = {}
         self._series: Dict[str, ScalarSeries] = {}
+        # repro: allow-wallclock(run-folder naming stamp; never enters metrics or cache keys)
         self._created = time.time()
 
     def log_scalar(self, name: str, step: int, value: float) -> None:

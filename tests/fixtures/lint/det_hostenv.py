@@ -1,0 +1,12 @@
+"""Seeded hostenv violation: host CPU count shaping behaviour."""
+
+import multiprocessing
+import os
+
+
+def pool_size() -> int:
+    return os.cpu_count() or 1
+
+
+def pool_size_mp() -> int:
+    return multiprocessing.cpu_count()

@@ -1,0 +1,29 @@
+"""Seeded unseeded-RNG violations: OS-entropy and global-state draws."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh_generator():
+    return np.random.default_rng()
+
+
+def fresh_generator_aliased():
+    return default_rng()
+
+
+def global_numpy_draw():
+    np.random.seed(0)
+    return np.random.rand(3)
+
+
+def stdlib_draw():
+    return random.random() + random.randint(0, 10)
+
+
+def seeded_is_fine(seed: int):
+    # Generators derived from the run seed are the sanctioned pattern.
+    rng = np.random.default_rng(seed)
+    return rng.random()

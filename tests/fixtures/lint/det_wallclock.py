@@ -1,0 +1,30 @@
+"""Seeded wallclock violations: every flavour of wall-clock read."""
+
+import time
+from datetime import datetime, date
+from time import time as now
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def stamp_aliased() -> float:
+    return now()
+
+
+def stamp_datetime() -> str:
+    return datetime.now().isoformat()
+
+
+def stamp_utc() -> str:
+    return datetime.utcnow().isoformat()
+
+
+def stamp_date() -> str:
+    return date.today().isoformat()
+
+
+def allowed_span() -> float:
+    # Monotonic host-span timing is fine: it never enters compared payloads.
+    return time.perf_counter() + time.monotonic()

@@ -1,0 +1,51 @@
+"""Seeded exception-discipline violations: silent broad handlers."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def swallow_bare(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        return None
+
+
+def swallow_in_tuple(fn):
+    try:
+        return fn()
+    except (ValueError, BaseException):
+        return None
+
+
+def bound_but_unused(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        return None
+
+
+def reraise_is_fine(fn):
+    try:
+        return fn()
+    except Exception:
+        raise
+
+
+def recorded_is_fine(fn, log):
+    try:
+        return fn()
+    except Exception as exc:
+        log.append(str(exc))
+        return None
+
+
+def narrow_is_fine(fn):
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return None

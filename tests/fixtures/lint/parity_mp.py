@@ -1,0 +1,21 @@
+"""Parity fixture: drifted twin -- one op missing, one op mispriced."""
+
+
+class MultiprocessBackend:
+    def allreduce(self, buffers, tag=""):
+        # Mispriced: records a different op literal than the reference.
+        self.meter.record("allgather", [1], [1], tag=tag)
+        return buffers
+
+    def broadcast(self, value, root, tag=""):
+        self.meter.record("broadcast", [1], [1], tag=tag)
+        return value
+
+    # ``push`` is missing entirely.
+
+    def barrier(self):
+        pass
+
+    def extra_public_surface(self):
+        # Extra methods beyond the reference interface are allowed.
+        return {}

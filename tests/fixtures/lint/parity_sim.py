@@ -1,0 +1,17 @@
+"""Parity fixture: the reference backend the real one must mirror."""
+
+
+class SimulatedBackend:
+    def allreduce(self, buffers, tag=""):
+        self.meter.record("allreduce", [1], [1], tag=tag)
+        return buffers
+
+    def broadcast(self, value, root, tag=""):
+        self.meter.record("broadcast", [1], [1], tag=tag)
+        return value
+
+    def push(self, rank, payload, tag=""):
+        self.meter.record("push", [payload], [0], tag=tag)
+
+    def barrier(self):
+        pass

@@ -1,0 +1,13 @@
+"""Malformed pragmas: each one is itself a ``pragma`` finding."""
+
+
+def unknown_directive() -> int:
+    return 1  # repro: allow-everything(no such directive)
+
+
+def empty_reason() -> int:
+    return 2  # repro: isolation()
+
+
+def missing_parens() -> int:
+    return 3  # repro: allow-wallclock

@@ -1,0 +1,35 @@
+"""Every violation class, suppressed by a well-formed pragma.
+
+Exercises both placements: trailing on the offending line and a
+standalone comment on the line above.
+"""
+
+import os
+import time
+
+import numpy as np
+
+
+def stamp() -> float:
+    return time.time()  # repro: allow-wallclock(fixture: audit stamp outside compared payloads)
+
+
+def stamp_above() -> float:
+    # repro: allow-wallclock(fixture: standalone-comment placement)
+    return time.time()
+
+
+def fresh_generator():
+    # repro: allow-unseeded(fixture: convenience fallback, callers inject seeded rngs)
+    return np.random.default_rng()
+
+
+def pool_size() -> int:
+    return os.cpu_count() or 1  # repro: allow-hostenv(fixture: pool sizing only)
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # repro: isolation(fixture: failure is reported out of band)
+        return None

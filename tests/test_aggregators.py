@@ -5,13 +5,9 @@ import pytest
 
 from repro.aggregators import (
     Aggregator,
-    CenteredClippingAggregator,
-    GeometricMedianAggregator,
     KrumAggregator,
     MeanAggregator,
     MedianAggregator,
-    MultiKrumAggregator,
-    TrimmedMeanAggregator,
     available_aggregators,
     build_aggregator,
 )

@@ -20,7 +20,6 @@ from repro.analysis.speedup import (
     measure_selection_speedup,
     trivial_speedup,
 )
-from repro.sparsifiers.base import GradientLayout
 from repro.sparsifiers import build_sparsifier
 from repro.training.trainer import DistributedTrainer, TrainingConfig
 from tests.conftest import make_smoke_lm_task

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.convergence import (
-    ConvergenceSummary,
     compare_convergence,
     epochs_to_reach,
     summarize_convergence,

@@ -202,6 +202,33 @@ class TestLifecycle:
         mp = MultiprocessBackend(N)
         mp.close()
 
+    def test_clean_close_counts_zero_cleanup_errors(self):
+        mp = MultiprocessBackend(N)
+        mp.allreduce_rows(_rows())
+        mp.close()
+        assert mp.cleanup_errors == 0
+        assert mp.mailbox_stats()["cleanup_errors"] == 0
+
+    def test_arena_close_failures_are_counted(self):
+        mp = MultiprocessBackend(N)
+        mp.allreduce_rows(_rows())
+        arenas = list(mp._arenas)
+
+        def boom():
+            raise OSError("synthetic unlink failure")
+
+        for arena in arenas:
+            arena._shm.unlink = boom
+        mp.close()
+        assert mp.cleanup_errors == len(arenas)
+        assert all(arena.close_errors == 1 for arena in arenas)
+        assert mp.mailbox_stats()["cleanup_errors"] == mp.cleanup_errors
+        # Unlink for real so the segments do not outlive the test.
+        for arena in arenas:
+            del arena._shm.unlink
+            arena._shm.unlink()
+        assert all(arena.name not in list_repro_segments() for arena in arenas)
+
     def test_ops_after_close_fall_back(self):
         mp = MultiprocessBackend(N)
         mp.close()

@@ -6,7 +6,6 @@ import pytest
 
 from repro.comm.cost_model import AlphaBetaModel, CommunicationCost
 from repro.comm.topology import (
-    ClusterTopology,
     TopologySpec,
     build_topology,
     fat_node_topology,

@@ -1,7 +1,6 @@
 """Tests for the synthetic dataset generators."""
 
 import numpy as np
-import pytest
 
 from repro.data.synthetic_images import SyntheticImageConfig, SyntheticImageDataset, make_image_classification
 from repro.data.synthetic_ratings import make_implicit_feedback

@@ -1,7 +1,6 @@
 """Tests for the end-to-end DEFTSparsifier (orchestration of Algorithms 2-5)."""
 
 import numpy as np
-import pytest
 
 from repro.comm import SimulatedBackend
 from repro.sparsifiers import DEFTSparsifier

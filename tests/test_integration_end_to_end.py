@@ -4,7 +4,6 @@ These are the "does the reproduced system behave like the paper says"
 checks, run at the smallest scale where the qualitative claims are visible.
 """
 
-import numpy as np
 import pytest
 
 from repro.sparsifiers import build_sparsifier
@@ -123,7 +122,6 @@ class TestModelLayoutRoundtrip:
         """GradientLayout, flatten_gradients and the error-feedback memory all
         agree on n_g for a real model."""
         from repro.training.optimizers import flatten_gradients
-        from repro.tensor import functional as F
         from repro.data.dataloader import DataLoader
 
         model = lm_task.build_model()

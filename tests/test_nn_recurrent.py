@@ -1,7 +1,6 @@
 """Tests for LSTMCell / LSTM."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.tensor import Tensor

@@ -9,7 +9,6 @@ from repro.api import RunSpec, Session
 from repro.observability import (
     LiveMonitor,
     MetricsRegistry,
-    ObservabilitySpec,
     parse_openmetrics,
     render_openmetrics,
 )

@@ -1,7 +1,6 @@
 """Tests for the append-only JSONL run ledger."""
 
 import json
-import os
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest

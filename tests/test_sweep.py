@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.api import CompressionSpec, OptimizerSpec, RobustnessSpec, RunSpec, Session
+from repro.api import RunSpec, Session
 from repro.api.result import RunResult
 from repro.experiments import robustness_grid
 from repro.sweep import (

@@ -1,0 +1,87 @@
+"""Wall-clock audit: spec keys and compared metrics are timestamp-free.
+
+The three sanctioned ``time.time()`` sites (the ledger's audit stamp,
+``RunResult.to_ledger_entry``'s ``ts`` field and the run logger's folder
+stamp) carry ``# repro: allow-wallclock`` pragmas.  These tests pin down
+*why* those pragmas are sound: no wall-clock value ever reaches a spec
+key, a cache address or the metric view the regression sentinel
+compares, so two executions of the same spec at different times stay
+bit-comparable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import RunSpec
+from repro.api.result import RunResult
+from repro.observability.regress import comparable_metrics
+from repro.sweep.cache import spec_key
+
+
+@pytest.fixture()
+def result() -> RunResult:
+    spec = RunSpec(workload="lm", scale="smoke", seed=3).resolve()
+    return RunResult.from_dict(
+        {
+            "spec": spec.to_dict(),
+            "final_metrics": {"val_loss": 1.25, "val_acc": 0.5},
+            "mean_density": 0.1,
+            "iterations_run": 8,
+            "epochs_run": 2,
+            "estimated_wallclock": 4.0,
+            "traffic": {"total_sent_elements": 1024, "calls": 16},
+        }
+    )
+
+
+def test_spec_key_is_invariant_under_wallclock(monkeypatch, result):
+    keys = []
+    for fake_now in (1_000.0, 2_000_000.0):
+        monkeypatch.setattr(time, "time", lambda now=fake_now: now)
+        keys.append(spec_key(result.spec))
+    assert keys[0] == keys[1]
+    assert len(keys[0]) == 64  # sha256 hex -- a content address, not a stamp
+
+
+def test_ledger_entries_at_different_times_differ_only_in_audit_fields(
+    monkeypatch, result
+):
+    entries = []
+    for fake_now, host in ((1_000.0, 0.5), (2_000_000.0, 99.5)):
+        monkeypatch.setattr(time, "time", lambda now=fake_now: now)
+        entries.append(result.to_ledger_entry(host_seconds=host))
+    a, b = entries
+    assert a["ts"] != b["ts"]
+    assert a["host_seconds"] != b["host_seconds"]
+    stripped_a = {k: v for k, v in a.items() if k not in ("ts", "host_seconds")}
+    stripped_b = {k: v for k, v in b.items() if k not in ("ts", "host_seconds")}
+    assert stripped_a == stripped_b
+
+
+def test_comparable_metrics_are_timestamp_free(monkeypatch, result):
+    views = []
+    for fake_now, host in ((1_000.0, 0.5), (2_000_000.0, 99.5)):
+        monkeypatch.setattr(time, "time", lambda now=fake_now: now)
+        views.append(comparable_metrics(result.to_ledger_entry(host_seconds=host)))
+    a, b = views
+    assert a == b
+    assert a  # non-empty: the sentinel actually has something to compare
+    for name in a:
+        assert "ts" != name and "host" not in name, name
+
+
+def test_spec_key_payload_carries_no_clock_or_host_fields(result):
+    # The key is derived from the resolved spec dict only; assert the spec
+    # dict itself has no clock/host material for the hash to pick up.
+    payload = result.spec.to_dict()
+
+    def walk(node, path=""):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                assert key not in ("ts", "timestamp", "host_seconds", "created"), path
+                walk(value, f"{path}.{key}")
+
+    walk(payload)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.sparsifiers import build_sparsifier
 from repro.training.trainer import DistributedTrainer, TrainingConfig
-from tests.conftest import make_smoke_image_task, make_smoke_lm_task
 
 
 def run_short(task, sparsifier_name, density, n_workers=2, iterations=3, lr=0.2, seed=0, **sparsifier_kwargs):

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.utils.flatten import FlatSpec, flatten_arrays, unflatten_vector
+from repro.utils.flatten import flatten_arrays, unflatten_vector
 
 
 def make_named(rng, shapes):

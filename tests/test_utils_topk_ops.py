@@ -1,7 +1,6 @@
 """Tests for the top-k / threshold selection kernels."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
